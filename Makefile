@@ -1,0 +1,36 @@
+# Convenience targets for the TASP-NoC reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate the paper's tables/figures and extension studies.
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+bench:
+	$(GO) test -bench=. -benchmem -run xxx ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dos-attack
+	$(GO) run ./examples/mitigation-sweep
+	$(GO) run ./examples/trojan-designspace
+	$(GO) run ./examples/trace-driven
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean -testcache

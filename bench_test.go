@@ -1,0 +1,204 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section. Each benchmark reports domain-specific metrics via
+// b.ReportMetric so `go test -bench=.` output doubles as the experiment
+// log; the cmd/experiments tool prints the same data as tables.
+package tasp_test
+
+import (
+	"testing"
+
+	"tasp"
+	"tasp/internal/core"
+	"tasp/internal/exp"
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+	"tasp/internal/power"
+)
+
+// BenchmarkFigure1 regenerates the Blackscholes traffic distributions.
+func BenchmarkFigure1(b *testing.B) {
+	var hottest float64
+	for i := 0; i < b.N; i++ {
+		f, err := exp.RunFigure1("blackscholes", noc.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range f.LinkShare {
+			if v > hottest {
+				hottest = v
+			}
+		}
+	}
+	b.ReportMetric(hottest*100, "%hottest-link")
+}
+
+// BenchmarkFigure2 regenerates the fault-type latency comparison.
+func BenchmarkFigure2(b *testing.B) {
+	var steadyPenalty float64
+	for i := 0; i < b.N; i++ {
+		f := exp.RunFigure2()
+		steadyPenalty = f.TrojanLOb[5] - f.Clean[5]
+	}
+	b.ReportMetric(steadyPenalty, "lob-penalty-cycles")
+}
+
+// BenchmarkTableI regenerates the TASP variant hardware table.
+func BenchmarkTableI(b *testing.B) {
+	var fullArea float64
+	for i := 0; i < b.N; i++ {
+		fullArea = power.BuildTASP(power.TASPFull).Area()
+		for _, v := range power.TASPVariants {
+			_ = power.BuildTASP(v).Dynamic(power.DefaultFreqGHz)
+		}
+	}
+	b.ReportMetric(fullArea, "full-variant-um2")
+}
+
+// BenchmarkTableII regenerates the mitigation overhead numbers.
+func BenchmarkTableII(b *testing.B) {
+	var areaOverhead float64
+	for i := 0; i < b.N; i++ {
+		base := power.BuildRouter(power.DefaultRouterParams())
+		p := power.DefaultRouterParams()
+		p.WithMitigation = true
+		sec := power.BuildRouter(p)
+		areaOverhead = (sec.Area()/base.Area() - 1) * 100
+	}
+	b.ReportMetric(areaOverhead, "%area-overhead")
+}
+
+// BenchmarkFigure8 regenerates the power/area breakdown pies.
+func BenchmarkFigure8(b *testing.B) {
+	var taspShare float64
+	for i := 0; i < b.N; i++ {
+		m := power.BuildNoC(power.DefaultNoCParams(), power.DefaultFreqGHz)
+		taspShare = m.AllTASPDynUW / m.NoCDynUW * 100
+	}
+	b.ReportMetric(taspShare, "%all-links-tasp-dyn")
+}
+
+// BenchmarkFigure9 regenerates the per-variant area chart.
+func BenchmarkFigure9(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo := power.BuildTASP(power.TASPVC).Area()
+		hi := power.BuildTASP(power.TASPFull).Area()
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "um2-vc-to-full")
+}
+
+// BenchmarkFigure10 regenerates (a slice of) the L-Ob vs rerouting sweep:
+// Blackscholes and FFT at 10% infected links.
+func BenchmarkFigure10(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		for _, bench := range []string{"blackscholes", "fft"} {
+			cfg := core.DefaultExperiment()
+			cfg.Benchmark = bench
+			cfg.Attack.NumLinks = 5 // ~10% of 48 links
+			cfg.Mitigation = core.S2SLOb
+			lo, err := core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Mitigation = core.Rerouting
+			rr, err := core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rr.Throughput > 0 {
+				speedup = lo.Throughput / rr.Throughput
+			}
+		}
+	}
+	b.ReportMetric(speedup, "fft-speedup-x")
+}
+
+// BenchmarkFigure11 regenerates the DoS utilisation time series (attacked
+// vs healthy).
+func BenchmarkFigure11(b *testing.B) {
+	var blocked float64
+	for i := 0; i < b.N; i++ {
+		f, err := exp.RunFigure11(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := f.Attacked.Samples[len(f.Attacked.Samples)-1]
+		blocked = float64(last.BlockedRouters)
+	}
+	b.ReportMetric(blocked/16*100, "%routers-blocked")
+}
+
+// BenchmarkFigure12 regenerates the TDM-containment and L-Ob-mitigation
+// series.
+func BenchmarkFigure12(b *testing.B) {
+	var lobTput float64
+	for i := 0; i < b.N; i++ {
+		f, err := exp.RunFigure12(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lobTput = f.LOb.Throughput
+	}
+	b.ReportMetric(lobTput, "lob-pkt-per-cycle")
+}
+
+// BenchmarkAblationRetransScheme regenerates the Figure 5 buffer-scheme
+// ablation (DESIGN.md section 4).
+func BenchmarkAblationRetransScheme(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationRetransScheme(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRoutingUnderFlood regenerates the Section III-A routing
+// comparison under flood DoS.
+func BenchmarkAblationRoutingUnderFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationRoutingUnderFlood(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPlacement regenerates the trojan-placement study.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPlacement(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures raw simulator speed: cycles per second on
+// the 64-core mesh under Blackscholes load (an engineering metric, not a
+// paper figure).
+func BenchmarkSimulatorStep(b *testing.B) {
+	cfg := tasp.DefaultConfig()
+	cfg.Attack.Enabled = false
+	cfg.Warmup = 0
+	cfg.Measure = b.N
+	if cfg.Measure < 100 {
+		cfg.Measure = 100
+	}
+	b.ResetTimer()
+	if _, err := tasp.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cfg.Measure), "cycles")
+}
+
+// BenchmarkSecureWire measures one secured link traversal (encode,
+// obfuscate, trojan inspection, decode, detect).
+func BenchmarkSecureWire(b *testing.B) {
+	w := core.NewSecureWire(nil, 1)
+	h := flit.Header{Kind: flit.Single, VC: 1, SrcR: 3, DstR: 9, Mem: 0x0900beef}
+	f := flit.Flit{Kind: flit.Single, Payload: h.Encode(), PacketID: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Transmit(uint64(i), f, 1, 0)
+	}
+}

@@ -1,0 +1,146 @@
+// Command nocsim runs one NoC simulation with a configurable workload,
+// attack and mitigation, and prints the resulting counters and occupancy
+// series.
+//
+// Examples:
+//
+//	nocsim -bench blackscholes -mitigation none
+//	nocsim -bench ferret -mitigation s2s-lob -links 3 -target dest -dest 2
+//	nocsim -bench fft -attack=false -cycles 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tasp"
+	"tasp/internal/exp"
+	"tasp/internal/noc"
+	"tasp/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocsim: ")
+
+	var (
+		bench      = flag.String("bench", "blackscholes", "traffic model: "+strings.Join(tasp.Benchmarks(), ", "))
+		seed       = flag.Uint64("seed", 1, "deterministic simulation seed")
+		warmup     = flag.Int("warmup", 1500, "cycles before the kill switch flips")
+		cycles     = flag.Int("cycles", 1500, "cycles simulated after the kill switch")
+		attack     = flag.Bool("attack", true, "deploy TASP trojans")
+		links      = flag.Int("links", 2, "number of infected links (target-flow hottest)")
+		target     = flag.String("target", "dest", "trojan target kind: dest, src, destsrc, vc, mem, full")
+		dest       = flag.Int("dest", 0, "target destination router")
+		src        = flag.Int("src", 0, "target source router")
+		vc         = flag.Int("vc", 0, "target virtual channel")
+		mitigation = flag.String("mitigation", "none", "none, s2s-lob, e2e, tdm, reroute")
+		ber        = flag.Float64("ber", 0, "background transient bit-error rate per link bit")
+		sample     = flag.Int("sample", 100, "occupancy sampling period in cycles")
+		heat       = flag.Bool("map", false, "render an ASCII heatmap of final blocked-port pressure")
+	)
+	flag.Parse()
+
+	cfg := tasp.DefaultConfig()
+	cfg.Benchmark = *bench
+	cfg.Seed = *seed
+	cfg.Warmup = *warmup
+	cfg.Measure = *cycles
+	cfg.SampleEvery = *sample
+	cfg.TransientBER = *ber
+	cfg.Attack.Enabled = *attack
+	cfg.Attack.NumLinks = *links
+
+	switch *target {
+	case "dest":
+		cfg.Attack.Target = tasp.ForDest(uint8(*dest))
+	case "src":
+		cfg.Attack.Target = tasp.ForSrc(uint8(*src))
+	case "destsrc":
+		cfg.Attack.Target = tasp.ForDestSrc(uint8(*src), uint8(*dest))
+	case "vc":
+		cfg.Attack.Target = tasp.ForVC(uint8(*vc))
+	case "mem":
+		cfg.Attack.Target = tasp.ForMem(uint32(*dest)<<24, 0xff000000)
+	case "full":
+		cfg.Attack.Target = tasp.ForFull(uint8(*src), uint8(*dest), uint8(*vc), uint32(*dest)<<24, 0xff000000)
+	default:
+		log.Fatalf("unknown target kind %q", *target)
+	}
+
+	switch *mitigation {
+	case "none":
+		cfg.Mitigation = tasp.NoMitigation
+	case "s2s-lob", "lob":
+		cfg.Mitigation = tasp.S2SLOb
+	case "e2e":
+		cfg.Mitigation = tasp.E2EObfuscation
+	case "tdm":
+		cfg.Mitigation = tasp.TDMQoS
+	case "reroute":
+		cfg.Mitigation = tasp.Rerouting
+	default:
+		log.Fatalf("unknown mitigation %q", *mitigation)
+	}
+
+	res, err := tasp.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark=%s mitigation=%s seed=%d\n", *bench, cfg.Mitigation, *seed)
+	if cfg.Attack.Enabled {
+		fmt.Printf("infected links: %v (trojan matches=%d injections=%d)\n",
+			res.InfectedLinks, res.HTMatches, res.HTInjections)
+	}
+	c := res.Final
+	fmt.Printf("injected=%d delivered=%d retransmissions=%d corrected=%d inject-failures=%d\n",
+		c.InjectedPackets, c.DeliveredPackets, c.Retransmissions, c.CorrectedFaults, c.InjectFailures)
+	fmt.Printf("throughput=%.3f pkt/cycle  avg latency=%.1f cycles  max=%d\n",
+		res.Throughput, res.AvgLatency, c.MaxLatency)
+	if len(res.Detections) > 0 {
+		fmt.Printf("detections:\n")
+		for id, cl := range res.Detections {
+			fmt.Printf("  link %d: %s (trigger scope: %s)\n", id, cl, res.TriggerScopes[id])
+		}
+		fmt.Printf("obfuscated traversals=%d, undo stall=%d cycles, BIST scans=%d\n",
+			res.Obfuscated, res.StallCycles, res.BISTScans)
+	}
+	if res.ReroutedAt > 0 {
+		fmt.Printf("rerouted at cycle %d\n", res.ReroutedAt)
+	}
+	fmt.Printf("\n%-8s %-9s %-9s %-9s %-8s %-8s %-8s\n",
+		"cycle", "input", "output", "injq", "blocked", "allfull", ">50%full")
+	for _, s := range res.Samples {
+		fmt.Printf("%-8d %-9d %-9d %-9d %-8d %-8d %-8d\n",
+			s.Cycle, s.InputFlits, s.OutputFlits, s.InjectionFlit,
+			s.BlockedRouters, s.AllCoresFull, s.HalfCoresFull)
+	}
+
+	if *heat {
+		// Per-router pressure proxy from the sampled series is not kept;
+		// render the analytic traffic hot spots alongside the infected
+		// links so the attack geometry is visible.
+		f, err := exp.RunFigure1(*bench, cfg.Noc)
+		if err == nil {
+			fmt.Println()
+			fmt.Print(viz.RouterHeatmap(cfg.Noc, "workload source shares", f.RouterTotals))
+			if n, nerr := noc.New(cfg.Noc); nerr == nil && len(res.InfectedLinks) > 0 {
+				fmt.Printf("infected links:")
+				for _, l := range n.Links() {
+					for _, id := range res.InfectedLinks {
+						if l.ID == id {
+							fmt.Printf(" %s,", l)
+						}
+					}
+				}
+				fmt.Println()
+			}
+			fmt.Print(viz.LinkMap(cfg.Noc, "workload link loads (XY)", func(from, to int) float64 {
+				return f.LinkShare[fmt.Sprintf("%d->%d", from, to)]
+			}))
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Command powerarea prints the hardware-model results: Table I (TASP
+// variants), Table II (mitigation overhead), Figure 8 (power/area pies) and
+// Figure 9 (per-variant area), plus the full router report.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tasp/internal/exp"
+	"tasp/internal/power"
+)
+
+func main() {
+	report := flag.Bool("report", false, "also print the hierarchical router netlist report")
+	flag.Parse()
+
+	fmt.Println(exp.RunTableI().Render())
+	fmt.Println(exp.RunFigure9().Render())
+	fmt.Println(exp.RunTableII().Render())
+	for _, t := range exp.RunFigure8() {
+		fmt.Println(t.Render())
+	}
+	if *report {
+		r := power.BuildRouter(power.DefaultRouterParams())
+		fmt.Println(r.Report(power.DefaultFreqGHz))
+		p := power.DefaultRouterParams()
+		p.WithMitigation = true
+		fmt.Println(power.BuildRouter(p).Report(power.DefaultFreqGHz))
+	}
+}

@@ -1,0 +1,52 @@
+// mitigation-sweep runs the same TASP attack against every defence the
+// paper evaluates — nothing, FortNoCs-style e2e obfuscation, SurfNoC-style
+// TDM QoS, Ariadne-style rerouting, and the proposed threat detector + s2s
+// L-Ob — and compares throughput, back-pressure and detection outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mitigations := []tasp.Mitigation{
+		tasp.NoMitigation, tasp.E2EObfuscation, tasp.TDMQoS, tasp.Rerouting, tasp.S2SLOb,
+	}
+
+	clean := tasp.DefaultConfig()
+	clean.Attack.Enabled = false
+	base, err := tasp.Run(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean baseline: %.3f packets/cycle\n\n", base.Throughput)
+
+	fmt.Printf("%-16s %-12s %-10s %-16s %-12s %-10s\n",
+		"mitigation", "throughput", "vs clean", "blocked routers", "detections", "rerouted")
+	for _, m := range mitigations {
+		cfg := tasp.DefaultConfig()
+		cfg.Mitigation = m
+		res, err := tasp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := res.Samples[len(res.Samples)-1]
+		rerouted := "-"
+		if res.ReroutedAt > 0 {
+			rerouted = fmt.Sprintf("cycle %d", res.ReroutedAt)
+		}
+		fmt.Printf("%-16s %-12.3f %-10s %-16d %-12d %-10s\n",
+			m, res.Throughput,
+			fmt.Sprintf("%.0f%%", 100*res.Throughput/base.Throughput),
+			last.BlockedRouters, len(res.Detections), rerouted)
+	}
+
+	fmt.Println("\nthe proposed s2s L-Ob keeps the infected links in service at a 1-3 cycle")
+	fmt.Println("obfuscation penalty instead of deadlocking (none/e2e), halving bandwidth (tdm)")
+	fmt.Println("or paying detours (reroute) — the paper's Figure 10/12 story")
+}

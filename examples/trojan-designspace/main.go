@@ -1,0 +1,60 @@
+// trojan-designspace explores the attacker's trade-offs from Section III:
+// which target variant to program (Table I's area/power cost vs attack
+// selectivity) and how wide to make the Y-bit payload counter (more fault
+// locations to disguise strikes as transients vs more flip-flops for
+// side-channel analysis to find).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasp"
+	"tasp/internal/power"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Hardware cost per target variant (Table I / Figure 9).
+	fmt.Printf("%-10s %-8s %-12s %-10s\n", "variant", "width", "area um^2", "dyn uW")
+	for _, v := range power.TASPVariants {
+		b := power.BuildTASP(v)
+		fmt.Printf("%-10s %-8d %-12.2f %-10.2f\n",
+			v, v.Width(), b.Area(), b.Dynamic(power.DefaultFreqGHz))
+	}
+
+	// Attack selectivity: how many flits does each variant strike, and how
+	// much of the chip does it take down?
+	fmt.Printf("\n%-10s %-10s %-14s %-14s\n", "variant", "strikes", "blocked rtrs", "tput pkt/cyc")
+	targets := map[string]tasp.Target{
+		"Dest":     tasp.ForDest(0),
+		"Src":      tasp.ForSrc(0),
+		"Dest_Src": tasp.ForDestSrc(1, 0),
+		"VC":       tasp.ForVC(1),
+		"Mem":      tasp.ForMem(0, 0xff000000),
+		"Full":     tasp.ForFull(1, 0, 1, 0, 0xff000000),
+	}
+	for _, name := range []string{"Dest", "Src", "Dest_Src", "VC", "Mem", "Full"} {
+		cfg := tasp.DefaultConfig()
+		cfg.Attack.Target = targets[name]
+		res, err := tasp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := res.Samples[len(res.Samples)-1]
+		fmt.Printf("%-10s %-10d %-14d %-14.3f\n",
+			name, res.HTInjections, last.BlockedRouters, res.Throughput)
+	}
+
+	// Payload-counter width ablation: a small Y reuses fault locations
+	// quickly (easy for the threat detector's history to spot); a large Y
+	// needs more flip-flops.
+	fmt.Printf("\n%-8s %-16s %-16s\n", "Y bits", "payload states", "ff cost (area um^2)")
+	for _, y := range []int{2, 4, 8, 12, 16} {
+		states := y * (y - 1) / 2
+		// Counter area scales with Y in the hardware model.
+		area := power.Counter("payload", y, 0.1).Area()
+		fmt.Printf("%-8d %-16d %-16.2f\n", y, states, area)
+	}
+}

@@ -1,0 +1,3 @@
+module tasp
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package bist implements the link built-in self test the threat detector
+// invokes when a flit faults repeatedly (Figure 6: "notify built-in-self-
+// test (BIST) to scan for a permanent fault because repetitive transient
+// faults are unlikely").
+//
+// The scan drives walking-ones, walking-zeros and alternating patterns
+// through the link's tap point and compares what arrives against what was
+// driven, wire by wire. A stuck-at wire mismatches consistently in exactly
+// one polarity; trojan strikes (if the patterns happen to alias the trigger)
+// mismatch inconsistently and are not reported as stuck.
+package bist
+
+import (
+	"tasp/internal/ecc"
+	"tasp/internal/fault"
+)
+
+// StuckWire is one permanent defect found by a scan.
+type StuckWire struct {
+	Pos   int  // codeword wire position
+	Value uint // the value the wire is stuck at
+}
+
+// Report is the outcome of one scan.
+type Report struct {
+	Stuck []StuckWire
+	// PatternsRun counts the link traversals the scan consumed.
+	PatternsRun int
+	// Inconsistent counts wires that mismatched in some patterns but not
+	// others of the same polarity — transient upsets or trojan strikes,
+	// not permanent faults.
+	Inconsistent int
+}
+
+// Permanent reports whether the scan found any stuck wire.
+func (r Report) Permanent() bool { return len(r.Stuck) > 0 }
+
+// patterns generates the scan stimulus: walking-1, walking-0, alternating
+// and solid words. Walking patterns give per-wire isolation; repeating each
+// probe twice separates consistent (stuck) from inconsistent (transient or
+// trojan) mismatches.
+func patterns() []ecc.Codeword {
+	var ps []ecc.Codeword
+	for i := 0; i < ecc.CodewordBits; i++ {
+		var one ecc.Codeword
+		one = one.Flip(i)
+		all := ecc.Codeword{Lo: ^uint64(0), Hi: 0xff}
+		zero := all.Flip(i)
+		ps = append(ps, one, one, zero, zero)
+	}
+	alt := ecc.Codeword{Lo: 0xaaaaaaaaaaaaaaaa, Hi: 0xaa}
+	inv := ecc.Codeword{Lo: 0x5555555555555555, Hi: 0x55}
+	ps = append(ps, alt, alt, inv, inv, ecc.Codeword{}, ecc.Codeword{},
+		ecc.Codeword{Lo: ^uint64(0), Hi: 0xff}, ecc.Codeword{Lo: ^uint64(0), Hi: 0xff})
+	return ps
+}
+
+// Scan drives the pattern set through the tap and classifies each wire.
+// cycle is the simulation time the scan starts at (patterns advance it by
+// one per traversal, so time-dependent injectors behave naturally).
+func Scan(cycle uint64, tap fault.Injector) Report {
+	type obs struct {
+		drove0, drove1     int // times each value was driven
+		stuckAs0, stuckAs1 int // times the wire read 0/1 while driven opposite
+	}
+	wires := make([]obs, ecc.CodewordBits)
+	ps := patterns()
+	for i, p := range ps {
+		// Patterns are framed as single-flit packets: the worst case for a
+		// framing-aware trojan, which may alias on them and expose itself
+		// as inconsistency.
+		got := tap.Inspect(cycle+uint64(i), p, fault.Framing{Head: true, Tail: true})
+		for w := 0; w < ecc.CodewordBits; w++ {
+			sent, recv := p.Bit(w), got.Bit(w)
+			if sent == 1 {
+				wires[w].drove1++
+				if recv == 0 {
+					wires[w].stuckAs0++
+				}
+			} else {
+				wires[w].drove0++
+				if recv == 1 {
+					wires[w].stuckAs1++
+				}
+			}
+		}
+	}
+	rep := Report{PatternsRun: len(ps)}
+	for w, o := range wires {
+		switch {
+		case o.drove1 > 0 && o.stuckAs0 == o.drove1:
+			rep.Stuck = append(rep.Stuck, StuckWire{Pos: w, Value: 0})
+		case o.drove0 > 0 && o.stuckAs1 == o.drove0:
+			rep.Stuck = append(rep.Stuck, StuckWire{Pos: w, Value: 1})
+		case o.stuckAs0+o.stuckAs1 > 0:
+			rep.Inconsistent++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tasp/internal/detect"
+	"tasp/internal/fault"
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+	"tasp/internal/obfe2e"
+	"tasp/internal/qos"
+	"tasp/internal/reroute"
+	"tasp/internal/stats"
+	"tasp/internal/tasp"
+	"tasp/internal/traffic"
+)
+
+// Mitigation selects the defence installed for a run.
+type Mitigation int
+
+// The paper's configurations: no protection, the proposed switch-to-switch
+// threat detector + L-Ob, FortNoCs-style end-to-end obfuscation, SurfNoC-
+// style two-domain TDM QoS, and Ariadne-style rerouting.
+const (
+	NoMitigation Mitigation = iota
+	S2SLOb
+	E2EObfuscation
+	TDMQoS
+	Rerouting
+)
+
+// String names the mitigation.
+func (m Mitigation) String() string {
+	switch m {
+	case NoMitigation:
+		return "none"
+	case S2SLOb:
+		return "s2s-lob"
+	case E2EObfuscation:
+		return "e2e-obfuscation"
+	case TDMQoS:
+		return "tdm-qos"
+	case Rerouting:
+		return "rerouting"
+	default:
+		return fmt.Sprintf("mitigation(%d)", int(m))
+	}
+}
+
+// AttackConfig describes the TASP deployment for a run.
+type AttackConfig struct {
+	Enabled bool
+	// Target is the programmed comparator value. The zero value targets
+	// destination router 0 — the primary core of most benchmarks.
+	Target tasp.Target
+	// YBits is the payload-counter width (0 = tasp.DefaultPayloadBits).
+	YBits int
+	// Links explicitly lists infected link ids. When empty, the NumLinks
+	// hottest links for the workload are infected (the attacker's optimal
+	// placement from Section III-A).
+	Links    []int
+	NumLinks int
+	// EnableAt is the cycle the external kill switch flips on
+	// (0 = after warm-up, the paper's 1500-cycle protocol).
+	EnableAt uint64
+}
+
+// ExperimentConfig is one full simulation run.
+type ExperimentConfig struct {
+	Noc       noc.Config
+	Benchmark string         // traffic model name; ignored when Model is set
+	Model     *traffic.Model // explicit model (overrides Benchmark)
+	Seed      uint64
+
+	Warmup      int // cycles before the attack enables (paper: 1500)
+	Measure     int // cycles simulated after the attack enables
+	SampleEvery int // occupancy sampling period (0 = 25 cycles)
+
+	Attack     AttackConfig
+	Mitigation Mitigation
+
+	// TransientBER adds background single-event upsets on every link.
+	TransientBER float64
+
+	// RerouteDetectDelay is how many cycles after attack enable the
+	// rerouting baseline takes to classify and disable the infected links
+	// (Ariadne's reconfiguration trigger). 0 = 200 cycles.
+	RerouteDetectDelay int
+
+	// DetectorHistory overrides the threat detector's fault-history table
+	// capacity (0 = detect.DefaultHistoryCap). Ablation knob.
+	DetectorHistory int
+}
+
+// DefaultExperiment returns the paper's standard protocol: the 64-core mesh,
+// Blackscholes traffic, a 1500-cycle warm-up, and a TASP attack targeting
+// the traffic of the application's primary router. The attack is a single
+// point of attack around that router: under strict XY routing a trojan on
+// one ingress link can only wedge that link's row segment, so the default
+// cuts the primary's whole ingress (its two hottest target-flow links) —
+// the paper itself notes "the number of compromised links is orthogonal"
+// to the single-point-of-attack analysis.
+func DefaultExperiment() ExperimentConfig {
+	return ExperimentConfig{
+		Noc:       noc.DefaultConfig(),
+		Benchmark: "blackscholes",
+		Seed:      1,
+		Warmup:    1500,
+		Measure:   1500,
+		Attack: AttackConfig{
+			Enabled:  true,
+			Target:   tasp.ForDest(0),
+			NumLinks: 2,
+		},
+		Mitigation: NoMitigation,
+	}
+}
+
+// Sample is one time-series point: the whole-network occupancy plus, for
+// TDM runs, the per-domain split.
+type Sample struct {
+	noc.Occupancy
+	Domain [qos.NumDomains]noc.Occupancy
+}
+
+// Results aggregates everything a run produced.
+type Results struct {
+	Config        ExperimentConfig
+	InfectedLinks []int
+	Samples       []Sample
+
+	// Counter snapshots: at attack enable and at the end.
+	AtEnable noc.Counters
+	Final    noc.Counters
+
+	// Throughput is delivered packets per cycle during the measure phase;
+	// AvgLatency is over all delivered packets.
+	Throughput float64
+	AvgLatency float64
+
+	// Attack-side telemetry.
+	HTMatches    uint64
+	HTInjections uint64
+
+	// Defence-side telemetry (S2SLOb runs).
+	Detections    map[int]detect.Classification
+	TriggerScopes map[int]string
+	Obfuscated    uint64
+	StallCycles   uint64
+	BISTScans     uint64
+
+	// ReroutedAt is the cycle the rerouting baseline reconfigured (0 if
+	// it never did).
+	ReroutedAt uint64
+
+	// VictimDelivered counts packets delivered to the attack target's
+	// destination router during the measure phase — the victim
+	// application's goodput (only tracked for Dest/DestSrc/Full targets).
+	VictimDelivered uint64
+
+	// FirstTrojanAt is the cycle the first link was classified as a
+	// trojan (0 = never) — the detection latency measure.
+	FirstTrojanAt uint64
+
+	// Latency is the end-to-end packet latency distribution over the whole
+	// run (both phases).
+	Latency *stats.Histogram
+}
+
+// flowMatcher returns the flow filter a target implies: the attacker places
+// trojans on links its *target* flows actually cross (Section III-A). VC
+// and Mem targets match flits of every flow, so no filter applies.
+func flowMatcher(t tasp.Target) func(src, dst int) bool {
+	switch t.Kind {
+	case tasp.TargetDest:
+		return func(_, dst int) bool { return dst == int(t.DstR) }
+	case tasp.TargetSrc:
+		return func(src, _ int) bool { return src == int(t.SrcR) }
+	case tasp.TargetDestSrc, tasp.TargetFull:
+		return func(src, dst int) bool { return src == int(t.SrcR) && dst == int(t.DstR) }
+	default:
+		return nil
+	}
+}
+
+// ChooseInfectedLinks ranks the mesh's directed links by the analytic load
+// of the flows the target matches (Section III-A's link-selection analysis)
+// and returns the ids of the n hottest ones that keep the network connected
+// if disabled — the attacker wants maximum coverage, and the rerouting
+// comparison needs a survivable topology.
+func ChooseInfectedLinks(m *traffic.Model, cfg noc.Config, links []noc.LinkInfo, n int, target tasp.Target) []int {
+	loads := traffic.LinkLoadsWhere(m, cfg, flowMatcher(target))
+	type cand struct {
+		id   int
+		load float64
+	}
+	cands := make([]cand, 0, len(links))
+	for _, l := range links {
+		key := fmt.Sprintf("%d->%d", l.From, l.To)
+		cands = append(cands, cand{l.ID, loads[key]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load > cands[j].load
+		}
+		return cands[i].id < cands[j].id
+	})
+	var picked []int
+	disabled := map[int]bool{}
+	for _, c := range cands {
+		if len(picked) == n {
+			break
+		}
+		if c.load == 0 {
+			break // target flows never cross the remaining links
+		}
+		disabled[c.id] = true
+		if _, err := reroute.Build(cfg, links, disabled); err != nil {
+			delete(disabled, c.id) // would disconnect the mesh; skip
+			continue
+		}
+		picked = append(picked, c.id)
+	}
+	return picked
+}
+
+// Run executes one experiment.
+func Run(cfg ExperimentConfig) (*Results, error) {
+	if err := cfg.Noc.Validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model == nil {
+		var err error
+		model, err = traffic.Benchmark(cfg.Benchmark, cfg.Noc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mitigation == TDMQoS {
+		// SurfNoC-style non-interference partitions the retransmission
+		// buffers between the domains too.
+		cfg.Noc.PartitionRetrans = true
+	}
+	net, err := noc.New(cfg.Noc)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 25
+	}
+	if cfg.RerouteDetectDelay <= 0 {
+		cfg.RerouteDetectDelay = 200
+	}
+	enableAt := cfg.Attack.EnableAt
+	if enableAt == 0 {
+		enableAt = uint64(cfg.Warmup)
+	}
+
+	res := &Results{
+		Config:        cfg,
+		Detections:    map[int]detect.Classification{},
+		TriggerScopes: map[int]string{},
+	}
+
+	// ---- attack deployment ----
+	infected := append([]int(nil), cfg.Attack.Links...)
+	if cfg.Attack.Enabled && len(infected) == 0 {
+		k := cfg.Attack.NumLinks
+		if k <= 0 {
+			k = 1
+		}
+		infected = ChooseInfectedLinks(model, cfg.Noc, net.Links(), k, cfg.Attack.Target)
+	}
+	res.InfectedLinks = infected
+	yBits := cfg.Attack.YBits
+	if yBits == 0 {
+		yBits = tasp.DefaultPayloadBits
+	}
+
+	// ---- wire assembly ----
+	mitigated := cfg.Mitigation == S2SLOb
+	trojans := make([]*tasp.HT, 0, len(infected))
+	wires := map[int]*SecureWire{}
+	isInfected := map[int]bool{}
+	for _, id := range infected {
+		isInfected[id] = true
+	}
+	for _, l := range net.Links() {
+		var tap fault.Injector = fault.None
+		var chain fault.Chain
+		if isInfected[l.ID] && cfg.Attack.Enabled {
+			ht := tasp.New(cfg.Attack.Target, yBits)
+			trojans = append(trojans, ht)
+			chain = append(chain, ht)
+		}
+		if cfg.TransientBER > 0 {
+			chain = append(chain, fault.NewTransient(cfg.TransientBER, cfg.Seed^uint64(l.ID)<<8))
+		}
+		if len(chain) > 0 {
+			tap = chain
+		}
+		w := NewSecureWire(tap, cfg.Seed^0x10b^uint64(l.ID))
+		w.Mitigated = mitigated
+		if cfg.DetectorHistory > 0 {
+			w.Detector = detect.New(cfg.DetectorHistory)
+		}
+		wires[l.ID] = w
+		net.SetWire(l.ID, w)
+	}
+
+	// ---- mitigation-specific setup ----
+	var tdm *qos.TDM
+	if cfg.Mitigation == TDMQoS {
+		tdm = qos.NewTDM(cfg.Noc)
+		tdm.Install(net)
+	}
+	var e2e *obfe2e.Scrambler
+	if cfg.Mitigation == E2EObfuscation {
+		e2e = obfe2e.New(cfg.Seed ^ 0xe2e)
+	}
+
+	// Delivery accounting: latency distribution plus, for destination-style
+	// targets, the victim application's goodput.
+	res.Latency = stats.NewHistogram()
+	trackVictim := false
+	var victim uint8
+	switch cfg.Attack.Target.Kind {
+	case tasp.TargetDest, tasp.TargetDestSrc, tasp.TargetFull:
+		trackVictim, victim = true, cfg.Attack.Target.DstR
+	}
+	net.SetDelivered(func(d noc.Delivery) {
+		res.Latency.Observe(d.Latency)
+		if trackVictim && d.Hdr.DstR == victim && net.Cycle() >= enableAt {
+			res.VictimDelivered++
+		}
+	})
+
+	gen := model.Generator(cfg.Seed)
+	inject := func(core int, p *flit.Packet) bool {
+		if tdm != nil {
+			p.Hdr.VC = tdm.AssignVC(core, p.Hdr.Seq)
+		}
+		if e2e != nil {
+			p.Hdr.SrcR = uint8(cfg.Noc.CoreRouter(core)) // key derivation needs src
+			e2e.Apply(p)
+		}
+		return net.Inject(core, p)
+	}
+
+	// ---- main loop ----
+	total := cfg.Warmup + cfg.Measure
+	rerouted := false
+	for c := 0; c < total; c++ {
+		if net.Cycle()+1 == enableAt {
+			for _, ht := range trojans {
+				ht.SetKillSwitch(true)
+			}
+		}
+		gen.Tick(inject)
+		net.Step()
+		if net.Cycle() == enableAt {
+			res.AtEnable = net.Counters
+		}
+		if cfg.Mitigation == Rerouting && !rerouted && cfg.Attack.Enabled &&
+			net.Cycle() >= enableAt+uint64(cfg.RerouteDetectDelay) {
+			disabled := map[int]bool{}
+			for _, id := range infected {
+				disabled[id] = true
+			}
+			if _, err := reroute.Apply(net, disabled); err != nil {
+				return nil, fmt.Errorf("rerouting baseline: %w", err)
+			}
+			rerouted = true
+			res.ReroutedAt = net.Cycle()
+		}
+		if mitigated && res.FirstTrojanAt == 0 {
+			for _, w := range wires {
+				if w.Detector.Classification() == detect.Trojan {
+					res.FirstTrojanAt = net.Cycle()
+					break
+				}
+			}
+		}
+		if int(net.Cycle())%cfg.SampleEvery == 0 {
+			s := Sample{Occupancy: net.Occupancy()}
+			if tdm != nil {
+				for d := 0; d < qos.NumDomains; d++ {
+					s.Domain[d] = tdm.OccupancyOf(net, d)
+				}
+			}
+			res.Samples = append(res.Samples, s)
+		}
+	}
+
+	// ---- results ----
+	res.Final = net.Counters
+	if cfg.Measure > 0 {
+		res.Throughput = float64(res.Final.DeliveredPackets-res.AtEnable.DeliveredPackets) / float64(cfg.Measure)
+	}
+	res.AvgLatency = res.Final.AvgLatency()
+	for _, ht := range trojans {
+		res.HTMatches += ht.Matches
+		res.HTInjections += ht.Injections
+	}
+	for id, w := range wires {
+		res.Obfuscated += w.Obfuscated
+		res.StallCycles += w.StallCycles
+		res.BISTScans += w.BISTScans
+		if cl := w.Detector.Classification(); cl != detect.Healthy {
+			res.Detections[id] = cl
+			res.TriggerScopes[id] = w.Detector.TriggerScope()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+// Package core assembles the paper's complete system: it wires TASP trojans,
+// transient/permanent fault injectors, the threat detector, the L-Ob
+// obfuscation block and BIST into the cycle-accurate NoC, implements the
+// baselines the paper compares against (e2e obfuscation, TDM QoS,
+// rerouting), and exposes the experiment engine every cmd, example and
+// benchmark drives.
+package core
+
+import (
+	"tasp/internal/bist"
+	"tasp/internal/detect"
+	"tasp/internal/ecc"
+	"tasp/internal/fault"
+	"tasp/internal/flit"
+	"tasp/internal/lob"
+	"tasp/internal/noc"
+)
+
+// SecureWire is a link whose two endpoints carry the paper's mitigation
+// hardware: the upstream L-Ob block (method selection, per-flow method log,
+// keystream) and the downstream threat source detector plus BIST hook. The
+// trojan — and any other fault source — sits in Tap, between the two.
+//
+// Per Figure 6/7 the escalation schedule over a flit's transmission
+// attempts is: attempt 0 uses the flow's logged method if one is known
+// (otherwise plain), attempt 1 is a plain retry (first fault might be
+// transient), and from attempt 2 on the L-Ob methods are walked in
+// escalation order.
+type SecureWire struct {
+	// Tap is the physical fault source on the link (TASP, transient,
+	// stuck-at or a chain). Never nil after NewSecureWire.
+	Tap fault.Injector
+	// Detector is the downstream threat source detector.
+	Detector *detect.Detector
+	// Log is the upstream per-flow method log.
+	Log *lob.MethodLog
+	// Mitigated enables the detector/L-Ob path; when false the wire
+	// behaves exactly like a PlainWire (used for the paper's
+	// no-mitigation runs in Figure 11).
+	Mitigated bool
+
+	key *lob.Keystream
+	// packet flow bookkeeping: body flits carry no header, so the L-Ob
+	// controller latches the flow when the head flit passes.
+	flows map[uint64]lob.FlowKey
+
+	// Counters.
+	Corrected   uint64 // single-bit upsets fixed by SECDED
+	Dropped     uint64 // uncorrectable traversals (NACKs)
+	Obfuscated  uint64 // traversals sent under an L-Ob method
+	BISTScans   uint64 // scans triggered by the detector
+	StallCycles uint64 // total undo penalty charged downstream
+}
+
+// NewSecureWire builds a mitigated link around the given fault tap.
+func NewSecureWire(tap fault.Injector, keySeed uint64) *SecureWire {
+	if tap == nil {
+		tap = fault.None
+	}
+	return &SecureWire{
+		Tap:       tap,
+		Detector:  detect.New(0),
+		Log:       lob.NewMethodLog(),
+		Mitigated: true,
+		key:       lob.NewKeystream(keySeed),
+		flows:     map[uint64]lob.FlowKey{},
+	}
+}
+
+// WithMitigation sets the Mitigated flag and returns the wire, for fluent
+// construction of baseline (unprotected) links.
+func (w *SecureWire) WithMitigation(on bool) *SecureWire {
+	w.Mitigated = on
+	return w
+}
+
+// flowOf resolves the flow a flit belongs to, latching it from head flits.
+func (w *SecureWire) flowOf(f flit.Flit, vc uint8) lob.FlowKey {
+	if f.IsHead() {
+		h := f.Header()
+		k := lob.FlowKey{SrcR: h.SrcR, DstR: h.DstR, VC: h.VC}
+		if !f.IsTail() {
+			w.flows[f.PacketID] = k
+		}
+		return k
+	}
+	if k, ok := w.flows[f.PacketID]; ok {
+		if f.IsTail() {
+			delete(w.flows, f.PacketID)
+		}
+		return k
+	}
+	return lob.FlowKey{VC: vc}
+}
+
+// choose picks the obfuscation for this attempt.
+func (w *SecureWire) choose(flow lob.FlowKey, attempt int) lob.Choice {
+	if !w.Mitigated {
+		return lob.Choice{Method: lob.None}
+	}
+	switch {
+	case attempt == 0:
+		if c, ok := w.Log.Lookup(flow); ok {
+			return c
+		}
+		return lob.Choice{Method: lob.None}
+	case attempt == 1:
+		return lob.Choice{Method: lob.None}
+	default:
+		return lob.Escalate(attempt - 2)
+	}
+}
+
+// Transmit implements noc.Wire.
+func (w *SecureWire) Transmit(cycle uint64, f flit.Flit, vc uint8, attempt int) (flit.Flit, noc.TxResult) {
+	flow := w.flowOf(f, vc)
+	choice := w.choose(flow, attempt)
+
+	var key ecc.Codeword
+	if choice.Method == lob.Scramble {
+		key = w.key.Next()
+	}
+	cw := ecc.Encode(f.Payload)
+	if choice.Method != lob.None {
+		w.Obfuscated++
+		cw = lob.Apply(cw, choice, key)
+	}
+	cw = w.Tap.Inspect(cycle, cw, fault.Framing{Head: f.IsHead(), Tail: f.IsTail()})
+	if choice.Method != lob.None {
+		cw = lob.Undo(cw, choice, key)
+	}
+	data, st, syn := ecc.Decode(cw)
+
+	fk := detect.FlitKey{PacketID: f.PacketID, Index: f.Index}
+	switch st {
+	case ecc.Uncorrectable:
+		w.Dropped++
+		if w.Mitigated {
+			act := w.Detector.OnFault(fk, syn, choice)
+			if act.RunBIST {
+				w.BISTScans++
+				w.Detector.SetBISTResult(bist.Scan(cycle, w.Tap))
+			}
+			if choice.Method != lob.None {
+				// The logged/escalated method failed this flow.
+				w.Log.Forget(flow)
+			}
+		}
+		return f, noc.TxResult{OK: false}
+	case ecc.Corrected:
+		w.Corrected++
+	}
+
+	f.Payload = data
+	stall := 0
+	if w.Mitigated {
+		if choice.Method != lob.None {
+			stall = choice.Method.Penalty()
+			w.StallCycles += uint64(stall)
+			w.Log.Record(flow, choice)
+		}
+		w.Detector.OnClean(fk, choice)
+	}
+	return f, noc.TxResult{OK: true, Corrected: st == ecc.Corrected, Stall: stall}
+}
+
+var _ noc.Wire = (*SecureWire)(nil)

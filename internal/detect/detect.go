@@ -1,0 +1,229 @@
+// Package detect implements the paper's heuristic threat source detector
+// (Section IV-B, Figure 6). One detector guards each link's receiving side.
+// When ECC flags a fault it records the syndrome together with the packet's
+// characteristics; the decision flow is the paper's:
+//
+//   - fault not seen before          -> correct / signal retransmission
+//   - same flit faulted before       -> notify BIST (repeated transients are
+//     unlikely) and, if the flit was already obfuscated, escalate to the
+//     next L-Ob method; otherwise enable L-Ob now
+//   - clean arrival of an obfuscated flit -> undo (1-cycle stall), notify
+//     the upstream so the successful method is logged for similar flits
+//
+// Out of these observations the detector classifies the link: Transient
+// (isolated, non-repeating faults), Permanent (BIST found stuck wires) or
+// HardwareTrojan (repeating faults on targeted flits that stop under
+// obfuscation while BIST finds nothing).
+package detect
+
+import (
+	"fmt"
+
+	"tasp/internal/bist"
+	"tasp/internal/lob"
+)
+
+// Classification is the detector's verdict about a link.
+type Classification uint8
+
+// Link verdicts.
+const (
+	Healthy   Classification = iota // no faults observed
+	Transient                       // isolated faults, none repeating
+	Permanent                       // BIST found stuck wires
+	Trojan                          // targeted faults defeated by obfuscation
+	Suspect                         // repeating faults, cause not yet proven
+)
+
+// String names the classification.
+func (c Classification) String() string {
+	switch c {
+	case Healthy:
+		return "healthy"
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Trojan:
+		return "trojan"
+	case Suspect:
+		return "suspect"
+	default:
+		return fmt.Sprintf("classification(%d)", uint8(c))
+	}
+}
+
+// FlitKey identifies one flit for the fault-history table.
+type FlitKey struct {
+	PacketID uint64
+	Index    uint8
+}
+
+// Action tells the link controller what to do after a fault.
+type Action struct {
+	// RunBIST asks for a link scan before the next retransmission.
+	RunBIST bool
+	// Obfuscate asks the upstream to apply (or escalate) L-Ob for this
+	// flit's retransmission.
+	Obfuscate bool
+}
+
+// record is one fault-history entry.
+type record struct {
+	key       FlitKey
+	faults    int
+	syndromes []int
+	obfTried  int // obfuscation attempts made for this flit
+}
+
+// Detector is the per-link threat source detector.
+type Detector struct {
+	// historyCap bounds the fault-history table (the hardware table in the
+	// power model holds 4 entries; the functional model defaults larger so
+	// software analyses aren't table-limited).
+	historyCap int
+	history    []*record
+	index      map[FlitKey]*record
+
+	bistDone   bool
+	bistReport bist.Report
+
+	// Granularity evidence for trigger localisation: success/failure per
+	// granularity of obfuscation attempts.
+	granOK   map[lob.Granularity]int
+	granFail map[lob.Granularity]int
+
+	// Counters for experiments and tests.
+	FaultEvents    uint64 // uncorrectable decodes observed
+	RepeatedFaults uint64 // faults on flits already in the history
+	CleanAfterObf  uint64 // obfuscated flits that arrived clean
+
+	class Classification
+}
+
+// DefaultHistoryCap is the default fault-history table size.
+const DefaultHistoryCap = 64
+
+// New returns a detector with the given history capacity (0 = default).
+func New(historyCap int) *Detector {
+	if historyCap <= 0 {
+		historyCap = DefaultHistoryCap
+	}
+	return &Detector{
+		historyCap: historyCap,
+		index:      map[FlitKey]*record{},
+		granOK:     map[lob.Granularity]int{},
+		granFail:   map[lob.Granularity]int{},
+	}
+}
+
+// OnFault implements the left half of Figure 6: an uncorrectable decode
+// arrived. obf is the obfuscation that was applied to this attempt (None
+// for plain traversals).
+func (d *Detector) OnFault(key FlitKey, syndrome int, obf lob.Choice) Action {
+	d.FaultEvents++
+	r := d.index[key]
+	if r == nil {
+		// "Has this flit or fault been seen before?" — no: record it and
+		// signal retransmission.
+		r = &record{key: key}
+		d.insert(r)
+		r.faults = 1
+		r.syndromes = append(r.syndromes, syndrome)
+		if d.class == Healthy {
+			d.class = Transient
+		}
+		return Action{}
+	}
+	// Seen before: repeated transients are unlikely — involve BIST, and
+	// enable or escalate obfuscation.
+	d.RepeatedFaults++
+	r.faults++
+	r.syndromes = append(r.syndromes, syndrome)
+	if obf.Method != lob.None {
+		r.obfTried++
+		d.granFail[obf.Gran]++
+	}
+	if d.class == Healthy || d.class == Transient {
+		d.class = Suspect
+	}
+	return Action{RunBIST: !d.bistDone, Obfuscate: true}
+}
+
+// OnClean implements the right half of Figure 6: a flit arrived without
+// faults. If it was obfuscated, the undo stall has already been charged by
+// the wire; here the detector updates the evidence and the classification.
+func (d *Detector) OnClean(key FlitKey, obf lob.Choice) {
+	if obf.Method == lob.None {
+		return
+	}
+	d.CleanAfterObf++
+	d.granOK[obf.Gran]++
+	if r := d.index[key]; r != nil && r.faults >= 2 && d.bistDone && !d.bistReport.Permanent() {
+		// Targeted repeating faults that stop under obfuscation, on a link
+		// BIST says is electrically sound: a trojan.
+		d.class = Trojan
+	}
+	// The flit got through; retire its history entry.
+	d.remove(key)
+}
+
+// SetBISTResult records a completed link scan.
+func (d *Detector) SetBISTResult(rep bist.Report) {
+	d.bistDone = true
+	d.bistReport = rep
+	if rep.Permanent() {
+		d.class = Permanent
+	}
+}
+
+// BISTReport returns the last scan and whether one has run.
+func (d *Detector) BISTReport() (bist.Report, bool) { return d.bistReport, d.bistDone }
+
+// Classification returns the current verdict.
+func (d *Detector) Classification() Classification { return d.class }
+
+// TriggerScope reports where the trojan's trigger appears to tap, from the
+// granularity evidence: narrowing obfuscation to the header (or payload)
+// while still defeating the trojan localises the comparator.
+func (d *Detector) TriggerScope() string {
+	switch {
+	case d.granOK[lob.HeaderOnly] > 0 && d.granFail[lob.PayloadOnly] > 0:
+		return "header"
+	case d.granOK[lob.PayloadOnly] > 0 && d.granFail[lob.HeaderOnly] > 0:
+		return "payload"
+	case d.granOK[lob.WholeFlit] > 0:
+		return "flit"
+	default:
+		return "unknown"
+	}
+}
+
+// insert adds a record, evicting the oldest beyond capacity.
+func (d *Detector) insert(r *record) {
+	if len(d.history) >= d.historyCap {
+		old := d.history[0]
+		d.history = d.history[1:]
+		delete(d.index, old.key)
+	}
+	d.history = append(d.history, r)
+	d.index[r.key] = r
+}
+
+// remove drops a flit's record once it has been delivered.
+func (d *Detector) remove(key FlitKey) {
+	r := d.index[key]
+	if r == nil {
+		return
+	}
+	delete(d.index, key)
+	for i, h := range d.history {
+		if h == r {
+			d.history = append(d.history[:i], d.history[i+1:]...)
+			break
+		}
+	}
+}
+
+// HistoryLen reports the current fault-history occupancy.
+func (d *Detector) HistoryLen() int { return len(d.history) }

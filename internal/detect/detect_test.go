@@ -1,0 +1,164 @@
+package detect
+
+import (
+	"testing"
+
+	"tasp/internal/bist"
+	"tasp/internal/fault"
+	"tasp/internal/lob"
+)
+
+func key(p uint64, i uint8) FlitKey { return FlitKey{PacketID: p, Index: i} }
+
+var plain = lob.Choice{Method: lob.None}
+
+func TestHealthyUntilFault(t *testing.T) {
+	d := New(0)
+	if d.Classification() != Healthy {
+		t.Fatalf("fresh detector is %v", d.Classification())
+	}
+}
+
+func TestFirstFaultJustRetransmits(t *testing.T) {
+	d := New(0)
+	act := d.OnFault(key(1, 0), 33, plain)
+	if act.RunBIST || act.Obfuscate {
+		t.Fatalf("first fault over-reacted: %+v", act)
+	}
+	if d.Classification() != Transient {
+		t.Fatalf("classification %v, want transient", d.Classification())
+	}
+	if d.HistoryLen() != 1 {
+		t.Fatalf("history len %d", d.HistoryLen())
+	}
+}
+
+func TestRepeatedFaultEscalates(t *testing.T) {
+	d := New(0)
+	d.OnFault(key(1, 0), 33, plain)
+	act := d.OnFault(key(1, 0), 35, plain)
+	if !act.RunBIST || !act.Obfuscate {
+		t.Fatalf("repeat fault did not escalate: %+v", act)
+	}
+	if d.Classification() != Suspect {
+		t.Fatalf("classification %v, want suspect", d.Classification())
+	}
+	// Once BIST has run, further faults must not re-request it.
+	d.SetBISTResult(bist.Scan(0, fault.None))
+	act = d.OnFault(key(1, 0), 37, lob.Choice{Method: lob.Scramble, Gran: lob.WholeFlit})
+	if act.RunBIST {
+		t.Fatal("BIST re-requested after completion")
+	}
+	if !act.Obfuscate {
+		t.Fatal("obfuscation dropped on third fault")
+	}
+}
+
+func TestTrojanClassification(t *testing.T) {
+	// The paper's discovery sequence: repeated faults on one flit, BIST
+	// clean, then a clean arrival under obfuscation => hardware trojan.
+	d := New(0)
+	d.OnFault(key(7, 0), 20, plain)
+	d.OnFault(key(7, 0), 22, plain)
+	d.SetBISTResult(bist.Scan(0, fault.None))
+	d.OnClean(key(7, 0), lob.Choice{Method: lob.Scramble, Gran: lob.WholeFlit})
+	if d.Classification() != Trojan {
+		t.Fatalf("classification %v, want trojan", d.Classification())
+	}
+	if d.HistoryLen() != 0 {
+		t.Fatal("delivered flit left in history")
+	}
+}
+
+func TestPermanentClassification(t *testing.T) {
+	d := New(0)
+	d.OnFault(key(3, 0), 9, plain)
+	d.OnFault(key(3, 0), 9, plain)
+	d.SetBISTResult(bist.Scan(0, fault.NewStuckAt(map[int]uint{4: 1, 9: 0})))
+	if d.Classification() != Permanent {
+		t.Fatalf("classification %v, want permanent", d.Classification())
+	}
+	rep, ok := d.BISTReport()
+	if !ok || !rep.Permanent() {
+		t.Fatal("BIST report not retained")
+	}
+}
+
+func TestTransientStaysTransient(t *testing.T) {
+	d := New(0)
+	// Many distinct flits fault once each — background upsets.
+	for i := uint64(0); i < 20; i++ {
+		act := d.OnFault(key(i, 0), int(i%63)+1, plain)
+		if act.Obfuscate {
+			t.Fatalf("isolated fault %d triggered obfuscation", i)
+		}
+	}
+	if d.Classification() != Transient {
+		t.Fatalf("classification %v, want transient", d.Classification())
+	}
+}
+
+func TestCleanPlainArrivalIsNoop(t *testing.T) {
+	d := New(0)
+	d.OnClean(key(1, 0), plain)
+	if d.Classification() != Healthy || d.CleanAfterObf != 0 {
+		t.Fatal("plain clean arrival mutated detector state")
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	d := New(4)
+	for i := uint64(0); i < 10; i++ {
+		d.OnFault(key(i, 0), 5, plain)
+	}
+	if d.HistoryLen() != 4 {
+		t.Fatalf("history len %d, cap 4", d.HistoryLen())
+	}
+	// The oldest entries were evicted: a repeat of flit 0 now looks new.
+	act := d.OnFault(key(0, 0), 5, plain)
+	if act.Obfuscate {
+		t.Fatal("evicted flit treated as repeat")
+	}
+	// But a repeat of a recent one escalates.
+	act = d.OnFault(key(9, 0), 5, plain)
+	if !act.Obfuscate {
+		t.Fatal("recent repeat not escalated")
+	}
+}
+
+func TestTriggerScopeLocalisation(t *testing.T) {
+	d := New(0)
+	if d.TriggerScope() != "unknown" {
+		t.Fatalf("fresh scope %q", d.TriggerScope())
+	}
+	// Header-only obfuscation succeeds, payload-only fails: the trigger
+	// taps header wires.
+	d.OnFault(key(1, 0), 3, plain)
+	d.OnFault(key(1, 0), 3, lob.Choice{Method: lob.Scramble, Gran: lob.PayloadOnly})
+	d.OnClean(key(1, 0), lob.Choice{Method: lob.Scramble, Gran: lob.HeaderOnly})
+	if d.TriggerScope() != "header" {
+		t.Fatalf("scope %q, want header", d.TriggerScope())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := New(0)
+	d.OnFault(key(1, 0), 3, plain)
+	d.OnFault(key(1, 0), 3, plain)
+	d.OnClean(key(1, 0), lob.Choice{Method: lob.Invert, Gran: lob.WholeFlit})
+	if d.FaultEvents != 2 || d.RepeatedFaults != 1 || d.CleanAfterObf != 1 {
+		t.Fatalf("counters: %d %d %d", d.FaultEvents, d.RepeatedFaults, d.CleanAfterObf)
+	}
+}
+
+func TestClassificationStrings(t *testing.T) {
+	want := map[Classification]string{
+		Healthy: "healthy", Transient: "transient", Permanent: "permanent",
+		Trojan: "trojan", Suspect: "suspect",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d = %q want %q", c, c.String(), s)
+		}
+	}
+}

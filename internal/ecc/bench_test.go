@@ -1,0 +1,25 @@
+package ecc
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	var sink Codeword
+	for i := 0; i < b.N; i++ {
+		sink = Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cw := Encode(0xdeadbeefcafebabe)
+	for i := 0; i < b.N; i++ {
+		Decode(cw)
+	}
+}
+
+func BenchmarkDecodeCorrect(b *testing.B) {
+	cw := Encode(0xdeadbeefcafebabe).Flip(17)
+	for i := 0; i < b.N; i++ {
+		Decode(cw)
+	}
+}

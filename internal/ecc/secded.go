@@ -1,0 +1,208 @@
+// Package ecc implements the Hamming(72,64) SECDED code the paper assumes on
+// every router-to-router link: single-error correction, double-error
+// detection. One injected fault is silently corrected by the receiver; two
+// simultaneous faults are detected but uncorrectable and force a switch-to-
+// switch retransmission — exactly the response the TASP hardware trojan
+// exploits to mount its denial-of-service attack.
+//
+// The codeword layout is the classic extended Hamming construction: 72 bit
+// positions, position 0 holds the overall (extended) parity, positions that
+// are powers of two (1, 2, 4, 8, 16, 32, 64) hold the Hamming check bits, and
+// the remaining 64 positions hold data bits in ascending order. The package
+// exports the data-bit <-> codeword-position maps because the attacker is
+// assumed to know the code (Section III-B): the TASP comparator taps codeword
+// wires, not logical header bits.
+package ecc
+
+import "math/bits"
+
+// CodewordBits is the width of an encoded link word.
+const CodewordBits = 72
+
+// DataBits is the width of the information word (one flit payload).
+const DataBits = 64
+
+// CheckBits counts the redundancy: 7 Hamming check bits + 1 overall parity.
+const CheckBits = CodewordBits - DataBits
+
+// Status is the outcome of decoding a received codeword.
+type Status uint8
+
+const (
+	// OK means the codeword arrived with no detectable error.
+	OK Status = iota
+	// Corrected means a single-bit error was detected and corrected.
+	Corrected
+	// Uncorrectable means a double-bit error was detected; the decoder
+	// cannot repair it and the flit must be retransmitted.
+	Uncorrectable
+)
+
+// String names the decode status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return "status(?)"
+	}
+}
+
+// Codeword is a 72-bit encoded link word. Bit i of the codeword is bit i%64
+// of Lo for i < 64 and bit i-64 of Hi otherwise.
+type Codeword struct {
+	Lo uint64 // codeword bits 0..63
+	Hi uint8  // codeword bits 64..71
+}
+
+// Bit returns codeword bit i (0 <= i < 72).
+func (c Codeword) Bit(i int) uint {
+	if i < 64 {
+		return uint(c.Lo>>uint(i)) & 1
+	}
+	return uint(c.Hi>>uint(i-64)) & 1
+}
+
+// Flip toggles codeword bit i and returns the modified codeword.
+func (c Codeword) Flip(i int) Codeword {
+	if i < 64 {
+		c.Lo ^= 1 << uint(i)
+	} else {
+		c.Hi ^= 1 << uint(i-64)
+	}
+	return c
+}
+
+// Xor applies a 72-bit flip mask (same layout as Codeword) to the codeword.
+func (c Codeword) Xor(m Codeword) Codeword {
+	c.Lo ^= m.Lo
+	c.Hi ^= m.Hi
+	return c
+}
+
+// dataPos[d] is the codeword position of data bit d; posData[p] is the data
+// bit stored at codeword position p, or -1 for parity positions.
+var (
+	dataPos [DataBits]int
+	posData [CodewordBits]int
+)
+
+func init() {
+	d := 0
+	for p := 0; p < CodewordBits; p++ {
+		posData[p] = -1
+		if p == 0 || p&(p-1) == 0 { // overall parity at 0, checks at powers of 2
+			continue
+		}
+		posData[p] = d
+		dataPos[d] = p
+		d++
+	}
+	if d != DataBits {
+		panic("ecc: layout produced wrong data width")
+	}
+}
+
+// DataPosition returns the codeword position that carries data bit d.
+func DataPosition(d int) int { return dataPos[d] }
+
+// PositionData returns the data bit carried at codeword position p, or -1 if
+// p is a parity position.
+func PositionData(p int) int { return posData[p] }
+
+// Encode computes the SECDED codeword for a 64-bit data word.
+func Encode(data uint64) Codeword {
+	var c Codeword
+	for d := 0; d < DataBits; d++ {
+		if data>>uint(d)&1 == 1 {
+			c = c.Flip(dataPos[d])
+		}
+	}
+	// Hamming check bits: check bit at position 2^i covers every position
+	// whose index has bit i set.
+	for i := 0; i < 7; i++ {
+		pb := 1 << uint(i)
+		var par uint
+		for p := 1; p < CodewordBits; p++ {
+			if p&pb != 0 && p != pb {
+				par ^= c.Bit(p)
+			}
+		}
+		if par == 1 {
+			c = c.Flip(pb)
+		}
+	}
+	// Overall parity at position 0 makes total parity even.
+	var par uint
+	for p := 1; p < CodewordBits; p++ {
+		par ^= c.Bit(p)
+	}
+	if par == 1 {
+		c = c.Flip(0)
+	}
+	return c
+}
+
+// extractData gathers the 64 data bits out of a codeword.
+func extractData(c Codeword) uint64 {
+	var data uint64
+	for d := 0; d < DataBits; d++ {
+		if c.Bit(dataPos[d]) == 1 {
+			data |= 1 << uint(d)
+		}
+	}
+	return data
+}
+
+// Decode checks and, when possible, corrects a received codeword. It returns
+// the recovered 64-bit data word, the decode status and the raw Hamming
+// syndrome (the position of the flipped bit for single-bit errors; for
+// double-bit errors the syndrome is a nonzero fingerprint of the error pair
+// that the threat detector records in its fault history).
+func Decode(c Codeword) (data uint64, st Status, syndrome int) {
+	// Syndrome: XOR of the indices of all set positions, computed per check.
+	syn := 0
+	for i := 0; i < 7; i++ {
+		pb := 1 << uint(i)
+		var par uint
+		for p := 1; p < CodewordBits; p++ {
+			if p&pb != 0 {
+				par ^= c.Bit(p)
+			}
+		}
+		if par == 1 {
+			syn |= pb
+		}
+	}
+	var overall uint
+	for p := 0; p < CodewordBits; p++ {
+		overall ^= c.Bit(p)
+	}
+
+	switch {
+	case syn == 0 && overall == 0:
+		return extractData(c), OK, 0
+	case syn == 0 && overall == 1:
+		// The overall parity bit itself flipped; data is intact.
+		return extractData(c), Corrected, 0
+	case overall == 1:
+		// Odd number of flips with a nonzero syndrome: single-bit error.
+		if syn < CodewordBits {
+			c = c.Flip(syn)
+		}
+		return extractData(c), Corrected, syn
+	default:
+		// Nonzero syndrome with even overall parity: double-bit error.
+		return extractData(c), Uncorrectable, syn
+	}
+}
+
+// Weight returns the Hamming weight (number of set bits) of the codeword,
+// used by BIST to sanity-check pattern transmission.
+func (c Codeword) Weight() int {
+	return bits.OnesCount64(c.Lo) + bits.OnesCount8(c.Hi)
+}

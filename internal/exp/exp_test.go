@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"tasp/internal/noc"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	s := tb.Render()
+	for _, want := range []string{"demo", "a", "bee", "333", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	f, err := RunFigure1("blackscholes", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, row := range f.Matrix {
+		for _, w := range row {
+			sum += w
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("matrix not normalised: %g", sum)
+	}
+	if f.RouterTotals[0] <= f.RouterTotals[15] {
+		t.Fatal("primary router not hottest source")
+	}
+	if len(f.LinkShare) != 48 && len(f.LinkShare) == 0 {
+		t.Fatalf("link shares: %d", len(f.LinkShare))
+	}
+	for _, tb := range []Table{f.MatrixTable(), f.HotspotTable(cfg), f.LinkTable()} {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s has no rows", tb.Title)
+		}
+	}
+	if _, err := RunFigure1("bogus", cfg); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	f := RunFigure2()
+	if len(f.Distances) != 6 {
+		t.Fatalf("distances: %v", f.Distances)
+	}
+	for i := range f.Distances {
+		if f.Clean[i] <= 0 {
+			t.Fatalf("clean latency %g at distance %d", f.Clean[i], i+1)
+		}
+		// Transient costs a bounded retransmission penalty.
+		if f.Transient[i] < f.Clean[i] || f.Transient[i] > f.Clean[i]+10 {
+			t.Errorf("dist %d: transient %g vs clean %g", i+1, f.Transient[i], f.Clean[i])
+		}
+		// Permanent pays extra hops where no equal-length alternate path
+		// exists (row-0 destinations); elsewhere a same-length detour may
+		// absorb the fault.
+		if f.Permanent[i] < f.Clean[i] {
+			t.Errorf("dist %d: permanent %g below clean %g", i+1, f.Permanent[i], f.Clean[i])
+		}
+		if i < 3 && f.Permanent[i] <= f.Clean[i] {
+			t.Errorf("dist %d: permanent %g not above clean %g despite no alternate path", i+1, f.Permanent[i], f.Clean[i])
+		}
+		// The first targeted packet pays detection; later ones only the
+		// logged obfuscation penalty.
+		if f.TrojanFirst[i] <= f.Clean[i] {
+			t.Errorf("dist %d: first trojan packet %g not above clean %g", i+1, f.TrojanFirst[i], f.Clean[i])
+		}
+		if f.TrojanLOb[i] <= f.Clean[i] || f.TrojanLOb[i] > f.Clean[i]+4 {
+			t.Errorf("dist %d: steady trojan %g vs clean %g (want the 1-3 cycle obfuscation penalty)",
+				i+1, f.TrojanLOb[i], f.Clean[i])
+		}
+		if f.TrojanFirst[i] < f.TrojanLOb[i] {
+			t.Errorf("dist %d: first packet %g cheaper than steady state %g", i+1, f.TrojanFirst[i], f.TrojanLOb[i])
+		}
+	}
+	if len(f.TableOf().Rows) != 6 {
+		t.Fatal("figure 2 table wrong size")
+	}
+	// Latency grows with distance in every healthy series.
+	for i := 1; i < 6; i++ {
+		if f.Clean[i] <= f.Clean[i-1] {
+			t.Errorf("clean latency not monotone at distance %d", i+1)
+		}
+	}
+}
+
+func TestHardwareTables(t *testing.T) {
+	t1 := RunTableI()
+	if len(t1.Rows) != 6 {
+		t.Fatalf("Table I rows: %d", len(t1.Rows))
+	}
+	t2 := RunTableII()
+	if len(t2.Rows) != 4 {
+		t.Fatalf("Table II rows: %d", len(t2.Rows))
+	}
+	f9 := RunFigure9()
+	if len(f9.Rows) != 6 {
+		t.Fatalf("Figure 9 rows: %d", len(f9.Rows))
+	}
+	pies := RunFigure8()
+	if len(pies) != 4 {
+		t.Fatalf("Figure 8 pies: %d", len(pies))
+	}
+	for _, p := range pies {
+		if len(p.Rows) < 2 {
+			t.Fatalf("%s underpopulated", p.Title)
+		}
+	}
+}
+
+func TestFigure10SmallSweep(t *testing.T) {
+	// A reduced sweep (full sweep runs in the bench/cmd): one benchmark,
+	// two fractions.
+	saveB, saveF := Figure10Benches, Figure10Fracs
+	Figure10Benches = []string{"blackscholes"}
+	Figure10Fracs = []float64{0, 0.10}
+	defer func() { Figure10Benches, Figure10Fracs = saveB, saveF }()
+
+	pts, err := RunFigure10(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	if pts[0].InfectedNum != 0 {
+		t.Fatal("0% row has infected links")
+	}
+	// With infected links, L-Ob must beat rerouting (the paper's headline
+	// Figure 10 relationship).
+	p := pts[1]
+	if p.InfectedNum == 0 {
+		t.Fatal("10% row has no infected links")
+	}
+	if p.Speedup <= 1.0 {
+		t.Fatalf("speedup %.2f at 10%% infected, want > 1", p.Speedup)
+	}
+	tb := Figure10Table(pts)
+	if len(tb.Rows) != 2 {
+		t.Fatal("figure 10 table wrong size")
+	}
+}
+
+func TestFigure11Shapes(t *testing.T) {
+	f, err := RunFigure11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLast := f.Attacked.Samples[len(f.Attacked.Samples)-1]
+	hLast := f.Healthy.Samples[len(f.Healthy.Samples)-1]
+	if aLast.BlockedRouters <= hLast.BlockedRouters {
+		t.Fatalf("attacked run (%d blocked) not worse than healthy (%d)",
+			aLast.BlockedRouters, hLast.BlockedRouters)
+	}
+	if aLast.HalfCoresFull < 10 {
+		t.Fatalf("attacked run has only %d/16 injection regions deadlocked", aLast.HalfCoresFull)
+	}
+	tabs := f.Tables()
+	if len(tabs) != 2 || len(tabs[0].Rows) == 0 {
+		t.Fatal("figure 11 tables malformed")
+	}
+}
+
+func TestFigure12Shapes(t *testing.T) {
+	f, err := RunFigure12(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := f.TDM.Samples[len(f.TDM.Samples)-1]
+	d1, d2 := last.Domain[0], last.Domain[1]
+	if d2.InjectionFlit <= d1.InjectionFlit {
+		t.Fatalf("attacked domain injection backlog (%d) not above clean domain (%d)",
+			d2.InjectionFlit, d1.InjectionFlit)
+	}
+	lLast := f.LOb.Samples[len(f.LOb.Samples)-1]
+	if lLast.BlockedRouters > 1 {
+		t.Fatalf("L-Ob run still shows %d blocked routers", lLast.BlockedRouters)
+	}
+	tabs := f.Tables()
+	if len(tabs) != 2 {
+		t.Fatal("figure 12 tables malformed")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	tb, err := Headline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 6 {
+		t.Fatalf("headline rows: %d", len(tb.Rows))
+	}
+	s := tb.Render()
+	if !strings.Contains(s, "TASP footprint") {
+		t.Fatal("headline missing hardware claim")
+	}
+}

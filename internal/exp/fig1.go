@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"tasp/internal/noc"
+	"tasp/internal/traffic"
+)
+
+// Figure1 reproduces the three traffic-distribution views of Figure 1 for a
+// benchmark on the 64-core concentrated mesh: (a) the source-router x
+// destination-router request matrix, (b) the per-router geographic source
+// hot spots, and (c) the percentage of traffic crossing each link under XY
+// routing.
+type Figure1 struct {
+	Benchmark string
+	// Matrix[s][d] is the relative request weight from router s to d
+	// (source intensity folded in, as in the paper's packet counts).
+	Matrix [][]float64
+	// RouterTotals[r] is router r's share of all generated requests.
+	RouterTotals []float64
+	// LinkShare maps "from->to" to the fraction of link traversals.
+	LinkShare map[string]float64
+}
+
+// RunFigure1 builds the distributions for one benchmark.
+func RunFigure1(bench string, cfg noc.Config) (*Figure1, error) {
+	m, err := traffic.Benchmark(bench, cfg)
+	if err != nil {
+		return nil, err
+	}
+	R := cfg.Routers()
+	out := &Figure1{Benchmark: bench, Matrix: make([][]float64, R)}
+	total := 0.0
+	for s := 0; s < R; s++ {
+		out.Matrix[s] = make([]float64, R)
+		for d := 0; d < R; d++ {
+			w := m.Matrix[s][d] * m.Intensity[s]
+			out.Matrix[s][d] = w
+			total += w
+		}
+	}
+	out.RouterTotals = make([]float64, R)
+	for s := 0; s < R; s++ {
+		rowSum := 0.0
+		for d := 0; d < R; d++ {
+			out.Matrix[s][d] /= total
+			rowSum += out.Matrix[s][d]
+		}
+		out.RouterTotals[s] = rowSum
+	}
+	out.LinkShare = traffic.LinkLoads(m, cfg)
+	return out, nil
+}
+
+// MatrixTable renders Figure 1(a).
+func (f *Figure1) MatrixTable() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 1(a): %s source->destination request shares (4x4 mesh, conc. 4)", f.Benchmark),
+		Columns: []string{"src\\dst"},
+	}
+	for d := range f.Matrix {
+		t.Columns = append(t.Columns, fmt.Sprintf("r%d", d))
+	}
+	for s, row := range f.Matrix {
+		cells := []string{fmt.Sprintf("r%d", s)}
+		for _, w := range row {
+			cells = append(cells, f4(w))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// HotspotTable renders Figure 1(b) as a geographic grid.
+func (f *Figure1) HotspotTable(cfg noc.Config) Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 1(b): %s per-router source shares (geographic layout)", f.Benchmark),
+		Columns: []string{"y\\x"},
+	}
+	for x := 0; x < cfg.Width; x++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("x=%d", x))
+	}
+	for y := cfg.Height - 1; y >= 0; y-- {
+		cells := []string{fmt.Sprintf("y=%d", y)}
+		for x := 0; x < cfg.Width; x++ {
+			cells = append(cells, pct(f.RouterTotals[cfg.RouterAt(x, y)]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// LinkTable renders Figure 1(c), hottest links first.
+func (f *Figure1) LinkTable() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 1(c): %s per-link traffic shares under XY routing", f.Benchmark),
+		Columns: []string{"link", "share"},
+	}
+	type kv struct {
+		k string
+		v float64
+	}
+	var all []kv
+	for k, v := range f.LinkShare {
+		all = append(all, kv{k, v})
+	}
+	// Hottest first, stable tie-break by name.
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].v > all[i].v || (all[j].v == all[i].v && all[j].k < all[i].k) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	for _, e := range all {
+		t.Rows = append(t.Rows, []string{e.k, pct(e.v)})
+	}
+	t.Notes = append(t.Notes,
+		"traffic localises around the primary router and diminishes with distance (Section III-A)")
+	return t
+}

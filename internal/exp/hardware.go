@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+
+	"tasp/internal/power"
+)
+
+// paperTableI holds the paper's published numbers for comparison columns.
+var paperTableI = map[power.TASPVariant]struct{ area, dyn, leak, ns float64 }{
+	power.TASPFull:    {50.45, 25.5304, 30.2694, 0.21},
+	power.TASPDest:    {33.516, 9.9263, 16.2355, 0.21},
+	power.TASPSrc:     {33.516, 9.9263, 16.2355, 0.21},
+	power.TASPDestSrc: {37.044, 10.9416, 16.2498, 0.21},
+	power.TASPMem:     {44.4528, 10.1997, 17.0468, 0.21},
+	power.TASPVC:      {31.9284, 10.5953, 15.0765, 0.21},
+}
+
+// RunTableI computes the area/power/timing of every TASP variant next to
+// the paper's numbers.
+func RunTableI() Table {
+	t := Table{
+		Title: "Table I: power, area and timing for each TASP variant (40 nm-like library, 1.0 V, 2 GHz)",
+		Columns: []string{"variant", "width", "area um^2", "paper", "dyn uW", "paper",
+			"leak nW", "paper", "path ns", "paper"},
+		Notes: []string{
+			"absolute values come from a synthetic cell library calibrated once; relative ordering is the reproduced claim",
+		},
+	}
+	for _, v := range power.TASPVariants {
+		b := power.BuildTASP(v)
+		p := paperTableI[v]
+		t.Rows = append(t.Rows, []string{
+			string(v), fmt.Sprintf("%d", v.Width()),
+			f2(b.Area()), f2(p.area),
+			f2(b.Dynamic(power.DefaultFreqGHz)), f2(p.dyn),
+			f2(b.Leakage()), f2(p.leak),
+			f3(b.CriticalPathPS() / 1000), f2(p.ns),
+		})
+	}
+	return t
+}
+
+// RunFigure9 renders the TASP per-variant area bars of Figure 9.
+func RunFigure9() Table {
+	t := Table{
+		Title:   "Figure 9: TASP target selection vs area overhead",
+		Columns: []string{"variant", "area um^2", "bar"},
+	}
+	for _, v := range power.TASPVariants {
+		a := power.BuildTASP(v).Area()
+		bar := ""
+		for i := 0.0; i < a; i += 2.5 {
+			bar += "#"
+		}
+		t.Rows = append(t.Rows, []string{string(v), f2(a), bar})
+	}
+	return t
+}
+
+// RunTableII computes the mitigation hardware overhead (threat detector +
+// L-Ob) relative to the baseline router.
+func RunTableII() Table {
+	base := power.BuildRouter(power.DefaultRouterParams())
+	p := power.DefaultRouterParams()
+	p.WithMitigation = true
+	sec := power.BuildRouter(p)
+	det := sec.Sub("threat-detector")
+	lob := sec.Sub("l-ob")
+
+	t := Table{
+		Title:   "Table II: overhead of the proposed mitigation (threat detector + L-Ob)",
+		Columns: []string{"block", "area um^2", "dyn uW", "leak nW", "path ns"},
+	}
+	add := func(name string, b interface {
+		Area() float64
+		Dynamic(float64) float64
+		Leakage() float64
+		CriticalPathPS() float64
+	}) {
+		t.Rows = append(t.Rows, []string{
+			name, f2(b.Area()), f2(b.Dynamic(power.DefaultFreqGHz)),
+			f2(b.Leakage()), f3(b.CriticalPathPS() / 1000),
+		})
+	}
+	add("router (baseline)", base)
+	add("threat detector", det)
+	add("l-ob", lob)
+	add("router + mitigation", sec)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("area overhead %s (paper: ~2%%), dynamic power overhead %s (paper: ~6%%)",
+			pct(sec.Area()/base.Area()-1),
+			pct(sec.Dynamic(power.DefaultFreqGHz)/base.Dynamic(power.DefaultFreqGHz)-1)))
+	return t
+}
+
+// RunFigure8 computes the four pie charts of Figure 8.
+func RunFigure8() []Table {
+	r := power.BuildRouter(power.DefaultRouterParams())
+	ht := power.BuildTASP(power.TASPFull)
+	freq := power.DefaultFreqGHz
+
+	pie := func(title string, shares map[string]float64, paper map[string]string) Table {
+		t := Table{Title: title, Columns: []string{"component", "share", "paper"}}
+		for _, k := range sortedKeys(shares) {
+			t.Rows = append(t.Rows, []string{k, pct(shares[k]), paper[k]})
+		}
+		return t
+	}
+
+	// Router dynamic power including one trojan.
+	dynTot := r.Dynamic(freq) + ht.Dynamic(freq)
+	dynShares := map[string]float64{"single TASP HT": ht.Dynamic(freq) / dynTot}
+	for _, s := range r.Subs {
+		dynShares[s.Name] += s.Dynamic(freq) / dynTot
+	}
+	d := pie("Figure 8: router dynamic power", dynShares, map[string]string{
+		"buffer": "71%", "crossbar": "18%", "switch-allocator": "4%", "clock": "6%", "single TASP HT": "1%",
+	})
+
+	// Router leakage including one trojan.
+	leakTot := r.Leakage() + ht.Leakage()
+	leakShares := map[string]float64{"single TASP HT": ht.Leakage() / leakTot}
+	for _, s := range r.Subs {
+		leakShares[s.Name] += s.Leakage() / leakTot
+	}
+	l := pie("Figure 8: router leakage power", leakShares, map[string]string{
+		"buffer": "88%", "crossbar": "9%", "switch-allocator": "3%", "clock": "0%", "single TASP HT": "0%",
+	})
+
+	// NoC area: global wire vs active vs one trojan.
+	m := power.BuildNoC(power.DefaultNoCParams(), freq)
+	areaTot := m.WireArea + m.ActiveArea + m.TASPArea
+	a := pie("Figure 8: NoC area", map[string]float64{
+		"global wire area": m.WireArea / areaTot,
+		"active area":      m.ActiveArea / areaTot,
+		"single TASP HT":   m.TASPArea / areaTot,
+	}, map[string]string{
+		"global wire area": "86%", "active area": "13%", "single TASP HT": "1%",
+	})
+
+	// NoC dynamic power: routers vs TASP on all 48 links.
+	nd := pie("Figure 8: NoC dynamic power (worst case: TASP on all 48 links)", map[string]float64{
+		"routers":              1 - m.AllTASPDynUW/m.NoCDynUW,
+		"TASP on all 48 links": m.AllTASPDynUW / m.NoCDynUW,
+	}, map[string]string{
+		"routers": "99.44%", "TASP on all 48 links": "0.56%",
+	})
+
+	return []Table{d, l, a, nd}
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"tasp/internal/core"
+	"tasp/internal/power"
+)
+
+// Headline checks the paper's abstract/conclusion claims in one pass and
+// renders a claim-by-claim comparison. It is the summary row of
+// EXPERIMENTS.md.
+func Headline(seed uint64) (Table, error) {
+	t := Table{
+		Title:   "Headline claims: paper vs this reproduction",
+		Columns: []string{"claim", "paper", "measured"},
+	}
+
+	// Hardware claims.
+	r := power.BuildRouter(power.DefaultRouterParams())
+	ht := power.BuildTASP(power.TASPFull)
+	t.Rows = append(t.Rows, []string{
+		"TASP footprint relative to one router (area)", "<1%",
+		pct(ht.Area() / r.Area()),
+	})
+	p := power.DefaultRouterParams()
+	p.WithMitigation = true
+	sec := power.BuildRouter(p)
+	t.Rows = append(t.Rows, []string{
+		"mitigation area overhead", "2%", pct(sec.Area()/r.Area() - 1),
+	})
+	t.Rows = append(t.Rows, []string{
+		"mitigation power overhead", "6%",
+		pct(sec.Dynamic(power.DefaultFreqGHz)/r.Dynamic(power.DefaultFreqGHz) - 1),
+	})
+
+	// Attack potency claims (Figure 11 protocol).
+	atk := core.DefaultExperiment()
+	atk.Seed = seed
+	res, err := core.Run(atk)
+	if err != nil {
+		return t, err
+	}
+	bestBlocked, fastCycle := 0, uint64(0)
+	for _, s := range res.Samples {
+		if s.BlockedRouters > bestBlocked {
+			bestBlocked = s.BlockedRouters
+			fastCycle = s.Cycle
+		}
+		if s.BlockedRouters >= 11 && fastCycle == 0 {
+			fastCycle = s.Cycle
+		}
+	}
+	last := res.Samples[len(res.Samples)-1]
+	t.Rows = append(t.Rows, []string{
+		">=1 blocked port on routers, <1500 cycles after enable", "68% (11/16)",
+		fmt.Sprintf("%d/16 (%s)", last.BlockedRouters, pct(float64(last.BlockedRouters)/16)),
+	})
+	t.Rows = append(t.Rows, []string{
+		"injection ports (>50% cores full) deadlocked by 1500 cycles", "81% (13/16)",
+		fmt.Sprintf("%d/16 (%s)", last.HalfCoresFull, pct(float64(last.HalfCoresFull)/16)),
+	})
+
+	// Mitigation efficacy.
+	lo := atk
+	lo.Mitigation = core.S2SLOb
+	lores, err := core.Run(lo)
+	if err != nil {
+		return t, err
+	}
+	clean := atk
+	clean.Attack.Enabled = false
+	cres, err := core.Run(clean)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"throughput under attack with s2s L-Ob (vs clean)", "graceful (1-3 cycle penalty)",
+		fmt.Sprintf("%.3f vs %.3f pkt/cyc (%s)", lores.Throughput, cres.Throughput,
+			pct(lores.Throughput/cres.Throughput)),
+	})
+	t.Rows = append(t.Rows, []string{
+		"throughput under attack without mitigation (vs clean)", "chip-scale deadlock",
+		fmt.Sprintf("%.3f vs %.3f pkt/cyc (%s)", res.Throughput, cres.Throughput,
+			pct(res.Throughput/cres.Throughput)),
+	})
+	return t, nil
+}

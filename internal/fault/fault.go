@@ -1,0 +1,116 @@
+// Package fault models the three ways faults occur on NoC links (paper
+// Figure 2): transient single-event upsets, permanent stuck-at defects, and
+// hardware-trojan-injected faults. Links expose a tap point on the physical
+// 72-bit codeword; every fault source — including the TASP trojan in package
+// tasp — implements the Injector interface and mutates the codeword in
+// flight.
+package fault
+
+import (
+	"tasp/internal/ecc"
+	"tasp/internal/xrand"
+)
+
+// Framing carries the flit-type side band of a link. NoC links transport
+// the head/tail indicators on dedicated control wires next to the data
+// wires, so a link tap — benign or malicious — can frame packets without
+// parsing payload bits. The TASP trojan uses it to qualify its deep packet
+// inspection to header-carrying flits.
+type Framing struct {
+	Head bool // the flit opens a packet (head or single)
+	Tail bool // the flit closes a packet (tail or single)
+}
+
+// Injector mutates a codeword as it traverses a link. Inspect receives the
+// word exactly as the upstream ECC encoder emitted it (after any L-Ob
+// obfuscation) and returns the word the downstream decoder will see. cycle
+// is the global simulation clock, letting injectors model temporal
+// behaviour; fr is the control-wire framing of the flit.
+type Injector interface {
+	Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword
+}
+
+// InjectorFunc adapts a function to the Injector interface.
+type InjectorFunc func(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword
+
+// Inspect calls f.
+func (f InjectorFunc) Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword {
+	return f(cycle, w, fr)
+}
+
+// None is the identity injector used on healthy links.
+var None = InjectorFunc(func(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword { return w })
+
+// Transient flips each wire independently with a (very small) per-traversal
+// probability, modelling single-event upsets. With realistic rates almost
+// all upsets are single-bit and silently corrected by SECDED.
+type Transient struct {
+	// BitErrorRate is the per-bit, per-traversal flip probability.
+	BitErrorRate float64
+	rng          *xrand.RNG
+	// Flips counts the total number of bits flipped, for tests and stats.
+	Flips uint64
+}
+
+// NewTransient returns a transient-fault injector with the given per-bit
+// error rate, deterministically seeded.
+func NewTransient(ber float64, seed uint64) *Transient {
+	return &Transient{BitErrorRate: ber, rng: xrand.New(seed)}
+}
+
+// Inspect implements Injector.
+func (t *Transient) Inspect(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword {
+	// Fast path: with rate p the chance of any flip in 72 bits is ~72p;
+	// sample the count first to avoid 72 RNG draws per flit.
+	if !t.rng.Bool(t.BitErrorRate * ecc.CodewordBits) {
+		return w
+	}
+	w = w.Flip(t.rng.Intn(ecc.CodewordBits))
+	t.Flips++
+	// Rarely, a second upset hits the same traversal.
+	if t.rng.Bool(t.BitErrorRate * ecc.CodewordBits) {
+		w = w.Flip(t.rng.Intn(ecc.CodewordBits))
+		t.Flips++
+	}
+	return w
+}
+
+// StuckAt models a permanent defect: the listed wires are stuck at fixed
+// values regardless of the driven data. A single stuck wire manifests as a
+// (correctable) error on roughly half of all traversals; BIST walking
+// patterns expose it deterministically.
+type StuckAt struct {
+	// Wires maps codeword bit position -> stuck value (0 or 1).
+	Wires map[int]uint
+}
+
+// NewStuckAt returns a permanent-fault injector with the given stuck wires.
+func NewStuckAt(wires map[int]uint) *StuckAt {
+	cp := make(map[int]uint, len(wires))
+	for p, v := range wires {
+		cp[p] = v & 1
+	}
+	return &StuckAt{Wires: cp}
+}
+
+// Inspect implements Injector.
+func (s *StuckAt) Inspect(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword {
+	for p, v := range s.Wires {
+		if w.Bit(p) != v {
+			w = w.Flip(p)
+		}
+	}
+	return w
+}
+
+// Chain composes injectors; the word passes through each in order. It lets a
+// compromised link also suffer background transient noise.
+type Chain []Injector
+
+// Inspect implements Injector.
+func (c Chain) Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword {
+	for _, in := range c {
+		w = in.Inspect(cycle, w, fr)
+	}
+	return w
+}

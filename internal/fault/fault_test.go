@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"testing"
+
+	"tasp/internal/ecc"
+)
+
+func TestNoneIsIdentity(t *testing.T) {
+	w := ecc.Encode(0xdeadbeef)
+	if got := None.Inspect(0, w, Framing{Head: true}); got != w {
+		t.Fatalf("None mutated the codeword")
+	}
+}
+
+func TestTransientRespectsRate(t *testing.T) {
+	// At rate 0 the injector must never flip; at a huge rate it must flip.
+	quiet := NewTransient(0, 1)
+	w := ecc.Encode(42)
+	for c := uint64(0); c < 1000; c++ {
+		if quiet.Inspect(c, w, Framing{Head: true}) != w {
+			t.Fatal("zero-rate transient injector flipped a bit")
+		}
+	}
+	noisy := NewTransient(0.5, 1)
+	flipped := false
+	for c := uint64(0); c < 100; c++ {
+		if noisy.Inspect(c, w, Framing{Head: true}) != w {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("high-rate transient injector never flipped")
+	}
+	if noisy.Flips == 0 {
+		t.Fatal("flip counter not incremented")
+	}
+}
+
+func TestTransientMostlyCorrectable(t *testing.T) {
+	// With a realistic (small) BER, upsets must be overwhelmingly
+	// single-bit, i.e. corrected by SECDED — the property that
+	// distinguishes background noise from the trojan's 2-bit payloads.
+	tr := NewTransient(1e-4, 9)
+	data := uint64(0x0f0f_f0f0_1234_5678)
+	cw := ecc.Encode(data)
+	var corrected, uncorrectable int
+	for c := uint64(0); c < 200000; c++ {
+		_, st, _ := ecc.Decode(tr.Inspect(c, cw, Framing{Head: true}))
+		switch st {
+		case ecc.Corrected:
+			corrected++
+		case ecc.Uncorrectable:
+			uncorrectable++
+		}
+	}
+	if corrected == 0 {
+		t.Fatal("no transient upsets observed at BER 1e-4 over 200k traversals")
+	}
+	if uncorrectable > corrected/10 {
+		t.Fatalf("too many uncorrectable transients: %d vs %d corrected", uncorrectable, corrected)
+	}
+}
+
+func TestStuckAtForcesWires(t *testing.T) {
+	s := NewStuckAt(map[int]uint{5: 1, 20: 0})
+	// Drive both polarities through the stuck wires.
+	w := ecc.Codeword{}
+	got := s.Inspect(0, w, Framing{Head: true})
+	if got.Bit(5) != 1 {
+		t.Fatal("stuck-at-1 wire not forced high")
+	}
+	w = w.Flip(20)
+	got = s.Inspect(0, w, Framing{Head: true})
+	if got.Bit(20) != 0 {
+		t.Fatal("stuck-at-0 wire not forced low")
+	}
+}
+
+func TestStuckAtTransparentWhenDataMatches(t *testing.T) {
+	s := NewStuckAt(map[int]uint{3: 1})
+	w := ecc.Codeword{}.Flip(3)
+	if s.Inspect(0, w, Framing{Head: true}) != w {
+		t.Fatal("stuck-at mutated a word that already matched")
+	}
+}
+
+func TestStuckAtCopiesMap(t *testing.T) {
+	m := map[int]uint{7: 1}
+	s := NewStuckAt(m)
+	m[7] = 0
+	w := ecc.Codeword{}
+	if s.Inspect(0, w, Framing{Head: true}).Bit(7) != 1 {
+		t.Fatal("injector shares caller's map")
+	}
+}
+
+func TestChainAppliesInOrder(t *testing.T) {
+	a := InjectorFunc(func(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword { return w.Flip(0) })
+	b := InjectorFunc(func(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword { return w.Flip(0).Flip(1) })
+	c := Chain{a, b}
+	got := c.Inspect(0, ecc.Codeword{}, Framing{Head: true})
+	if got.Bit(0) != 0 || got.Bit(1) != 1 {
+		t.Fatalf("chain misapplied: bits %d %d", got.Bit(0), got.Bit(1))
+	}
+}

@@ -1,0 +1,195 @@
+// Package flit defines the packet and flit formats used throughout the NoC.
+//
+// A packet is a sequence of flits. The head flit carries the routing header;
+// body and tail flits carry payload. Every flit is 64 data bits wide before
+// link ECC encoding (the paper's routers use 64-bit buffer slots); the SECDED
+// encoder in package ecc expands a flit to a 72-bit codeword for traversal.
+//
+// Header layout of a head (or single) flit, least-significant bit first:
+//
+//	bits  0..1   flit type (Head, Body, Tail, Single)
+//	bits  2..3   virtual channel id (2 bits, 4 VCs)
+//	bits  4..7   source router (4 bits, 16 routers)
+//	bits  8..11  destination router
+//	bits 12..43  memory address (32 bits)
+//	bits 44..45  source core within router (2 bits, concentration 4)
+//	bits 46..47  destination core within router
+//	bits 48..55  packet sequence number (8 bits)
+//	bits 56..63  spare / payload fragment
+//
+// The core sub-identifiers sit outside bits 2..43 so that the paper's 42-bit
+// "full" comparator window (vc + src + dest + mem) is one contiguous span.
+//
+// These widths deliberately match the paper's TASP comparator widths:
+// src 4, dest 4, dest+src 8, vc 2, mem 32, full 42 (bits 2..43).
+package flit
+
+import "fmt"
+
+// Type distinguishes the role of a flit within its packet.
+type Type uint8
+
+// Flit types. Single is a one-flit packet (head and tail at once).
+const (
+	Head Type = iota
+	Body
+	Tail
+	Single
+)
+
+// String returns a short human-readable name for the flit type.
+func (t Type) String() string {
+	switch t {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	case Single:
+		return "single"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Field bit positions within the 64-bit head flit payload.
+const (
+	TypeShift    = 0
+	TypeBits     = 2
+	VCShift      = 2
+	VCBits       = 2
+	SrcShift     = 4
+	SrcBits      = 4
+	DstShift     = 8
+	DstBits      = 4
+	MemShift     = 12
+	MemBits      = 32
+	SrcCoreShift = 44
+	SrcCoreBits  = 2
+	DstCoreShift = 46
+	DstCoreBits  = 2
+	SeqShift     = 48
+	SeqBits      = 8
+	SpareShift   = 56
+	SpareBits    = 8
+
+	// FullShift/FullBits span the paper's 42-bit "full" target window:
+	// vc(2) + src(4) + dst(4) + mem(32) = 42 bits at bits 2..43.
+	FullShift = 2
+	FullBits  = 42
+)
+
+// Header is the decoded routing header of a packet.
+type Header struct {
+	Kind    Type   // Head or Single for the leading flit
+	VC      uint8  // virtual channel (0..3)
+	SrcR    uint8  // source router (0..15)
+	SrcC    uint8  // source core within the router (0..3)
+	DstR    uint8  // destination router (0..15)
+	DstC    uint8  // destination core within the router (0..3)
+	Mem     uint32 // memory address the request refers to
+	Seq     uint8  // per-source packet sequence number
+	Spare   uint8  // spare bits, carried verbatim
+	badKind bool
+}
+
+// mask returns an n-bit all-ones mask.
+func mask(n uint) uint64 { return (uint64(1) << n) - 1 }
+
+// Encode packs the header into a 64-bit flit payload.
+func (h Header) Encode() uint64 {
+	var w uint64
+	w |= (uint64(h.Kind) & mask(TypeBits)) << TypeShift
+	w |= (uint64(h.VC) & mask(VCBits)) << VCShift
+	w |= (uint64(h.SrcR) & mask(SrcBits)) << SrcShift
+	w |= (uint64(h.DstR) & mask(DstBits)) << DstShift
+	w |= (uint64(h.Mem) & mask(MemBits)) << MemShift
+	w |= (uint64(h.SrcC) & mask(SrcCoreBits)) << SrcCoreShift
+	w |= (uint64(h.DstC) & mask(DstCoreBits)) << DstCoreShift
+	w |= (uint64(h.Seq) & mask(SeqBits)) << SeqShift
+	w |= (uint64(h.Spare) & mask(SpareBits)) << SpareShift
+	return w
+}
+
+// DecodeHeader unpacks a 64-bit flit payload into a Header.
+func DecodeHeader(w uint64) Header {
+	return Header{
+		Kind:  Type((w >> TypeShift) & mask(TypeBits)),
+		VC:    uint8((w >> VCShift) & mask(VCBits)),
+		SrcR:  uint8((w >> SrcShift) & mask(SrcBits)),
+		SrcC:  uint8((w >> SrcCoreShift) & mask(SrcCoreBits)),
+		DstR:  uint8((w >> DstShift) & mask(DstBits)),
+		DstC:  uint8((w >> DstCoreShift) & mask(DstCoreBits)),
+		Mem:   uint32((w >> MemShift) & mask(MemBits)),
+		Seq:   uint8((w >> SeqShift) & mask(SeqBits)),
+		Spare: uint8((w >> SpareShift) & mask(SpareBits)),
+	}
+}
+
+// Flit is one 64-bit unit of a packet inside a router, before link encoding.
+type Flit struct {
+	Kind    Type
+	Payload uint64 // raw 64-bit payload; for head flits this is Header.Encode()
+	// Bookkeeping (not on the wire): identity for stats and retransmission.
+	PacketID uint64 // globally unique packet id assigned at injection
+	Index    uint8  // position of this flit within its packet
+	InjectAt uint64 // cycle the packet was injected (latency accounting)
+}
+
+// Header decodes the routing header carried by a head or single flit.
+func (f *Flit) Header() Header { return DecodeHeader(f.Payload) }
+
+// IsHead reports whether the flit leads a packet (Head or Single).
+func (f *Flit) IsHead() bool { return f.Kind == Head || f.Kind == Single }
+
+// IsTail reports whether the flit ends a packet (Tail or Single).
+func (f *Flit) IsTail() bool { return f.Kind == Tail || f.Kind == Single }
+
+// Packet is a whole message before flitisation.
+type Packet struct {
+	ID      uint64
+	Hdr     Header
+	Body    []uint64 // body payload words (may be empty for 1-flit packets)
+	Inject  uint64   // injection cycle
+	Deliver uint64   // delivery cycle of the tail flit (0 until delivered)
+}
+
+// NumFlits returns the number of flits the packet occupies on the wire.
+func (p *Packet) NumFlits() int {
+	if len(p.Body) == 0 {
+		return 1
+	}
+	return 1 + len(p.Body)
+}
+
+// Flits serialises the packet into its wire flits. A packet with no body
+// words becomes a lone Single flit; otherwise a Head flit followed by Body
+// flits with the final one marked Tail.
+func (p *Packet) Flits() []Flit {
+	n := p.NumFlits()
+	out := make([]Flit, 0, n)
+	if n == 1 {
+		h := p.Hdr
+		h.Kind = Single
+		out = append(out, Flit{Kind: Single, Payload: h.Encode(), PacketID: p.ID, Index: 0, InjectAt: p.Inject})
+		return out
+	}
+	h := p.Hdr
+	h.Kind = Head
+	out = append(out, Flit{Kind: Head, Payload: h.Encode(), PacketID: p.ID, Index: 0, InjectAt: p.Inject})
+	for i, w := range p.Body {
+		k := Body
+		if i == len(p.Body)-1 {
+			k = Tail
+		}
+		out = append(out, Flit{Kind: k, Payload: w, PacketID: p.ID, Index: uint8(i + 1), InjectAt: p.Inject})
+	}
+	return out
+}
+
+// String renders the header compactly for logs and test failures.
+func (h Header) String() string {
+	return fmt.Sprintf("%s vc%d %d.%d->%d.%d mem=%08x seq=%d",
+		h.Kind, h.VC, h.SrcR, h.SrcC, h.DstR, h.DstC, h.Mem, h.Seq)
+}

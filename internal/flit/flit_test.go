@@ -1,0 +1,118 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Kind: Head, VC: 3, SrcR: 12, SrcC: 1, DstR: 5, DstC: 3, Mem: 0xdeadbeef, Seq: 200, Spare: 0x5a}
+	got := DecodeHeader(h.Encode())
+	if got != h {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(kind, vc, sr, sc, dr, dc, seq, spare uint8, mem uint32) bool {
+		h := Header{
+			Kind:  Type(kind & 3),
+			VC:    vc & 3,
+			SrcR:  sr & 15,
+			SrcC:  sc & 3,
+			DstR:  dr & 15,
+			DstC:  dc & 3,
+			Mem:   mem,
+			Seq:   seq,
+			Spare: spare,
+		}
+		return DecodeHeader(h.Encode()) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderFieldIsolation(t *testing.T) {
+	// Changing one field must not disturb any other encoded field.
+	base := Header{Kind: Head, VC: 1, SrcR: 7, SrcC: 2, DstR: 9, DstC: 1, Mem: 0x12345678, Seq: 42, Spare: 3}
+	mod := base
+	mod.DstR = 14
+	a, b := base.Encode(), mod.Encode()
+	diff := a ^ b
+	lo := uint64(1)<<DstShift | uint64(1)<<(DstShift+1) | uint64(1)<<(DstShift+2) | uint64(1)<<(DstShift+3)
+	if diff&^lo != 0 {
+		t.Fatalf("changing DstR disturbed other bits: diff=%016x", diff)
+	}
+}
+
+func TestFullWindowCoversRoutingFields(t *testing.T) {
+	// The paper's 42-bit "full" comparator window must contain vc, src, dst
+	// and mem but not type, seq or spare.
+	if FullShift != VCShift {
+		t.Fatalf("full window must start at the VC field")
+	}
+	end := FullShift + FullBits
+	if MemShift+MemBits != end {
+		t.Fatalf("full window must end with the memory field: end=%d mem end=%d", end, MemShift+MemBits)
+	}
+	if FullBits != VCBits+SrcBits+DstBits+MemBits {
+		t.Fatalf("full window width %d does not equal sum of routed fields", FullBits)
+	}
+}
+
+func TestPacketFlitsSingle(t *testing.T) {
+	p := Packet{ID: 9, Hdr: Header{SrcR: 1, DstR: 2, Seq: 7}, Inject: 100}
+	fs := p.Flits()
+	if len(fs) != 1 {
+		t.Fatalf("want 1 flit, got %d", len(fs))
+	}
+	f := fs[0]
+	if f.Kind != Single || !f.IsHead() || !f.IsTail() {
+		t.Fatalf("single flit has wrong kind: %v", f.Kind)
+	}
+	if f.Header().DstR != 2 || f.Header().Seq != 7 {
+		t.Fatalf("header not carried: %v", f.Header())
+	}
+	if f.PacketID != 9 || f.InjectAt != 100 {
+		t.Fatalf("bookkeeping not carried: %+v", f)
+	}
+}
+
+func TestPacketFlitsMulti(t *testing.T) {
+	p := Packet{ID: 3, Hdr: Header{SrcR: 4, DstR: 8}, Body: []uint64{10, 20, 30, 40}}
+	fs := p.Flits()
+	if len(fs) != 5 {
+		t.Fatalf("want 5 flits, got %d", len(fs))
+	}
+	if fs[0].Kind != Head {
+		t.Fatalf("first flit must be head, got %v", fs[0].Kind)
+	}
+	for i := 1; i < 4; i++ {
+		if fs[i].Kind != Body {
+			t.Fatalf("flit %d must be body, got %v", i, fs[i].Kind)
+		}
+		if fs[i].Payload != uint64(i*10) {
+			t.Fatalf("flit %d payload %d", i, fs[i].Payload)
+		}
+	}
+	if fs[4].Kind != Tail || !fs[4].IsTail() {
+		t.Fatalf("last flit must be tail, got %v", fs[4].Kind)
+	}
+	for i, f := range fs {
+		if int(f.Index) != i {
+			t.Fatalf("flit %d has index %d", i, f.Index)
+		}
+	}
+	if p.NumFlits() != 5 {
+		t.Fatalf("NumFlits = %d", p.NumFlits())
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{Head: "head", Body: "body", Tail: "tail", Single: "single"} {
+		if ty.String() != want {
+			t.Errorf("Type(%d).String() = %q want %q", ty, ty.String(), want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package lob
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tasp/internal/ecc"
+)
+
+func allChoices() []Choice {
+	var cs []Choice
+	for _, m := range Methods {
+		for _, g := range []Granularity{WholeFlit, HeaderOnly, PayloadOnly} {
+			cs = append(cs, Choice{m, g})
+		}
+	}
+	return cs
+}
+
+func TestApplyUndoRoundTrip(t *testing.T) {
+	ks := NewKeystream(1)
+	for _, c := range allChoices() {
+		key := ks.Next()
+		for _, data := range []uint64{0, ^uint64(0), 0xdeadbeefcafebabe} {
+			cw := ecc.Encode(data)
+			got := Undo(Apply(cw, c, key), c, key)
+			if got != cw {
+				t.Errorf("%v: round trip failed for %016x", c, data)
+			}
+		}
+	}
+}
+
+func TestApplyUndoRoundTripProperty(t *testing.T) {
+	ks := NewKeystream(2)
+	cs := allChoices()
+	f := func(data uint64, pick uint8) bool {
+		c := cs[int(pick)%len(cs)]
+		key := ks.Next()
+		cw := ecc.Encode(data)
+		return Undo(Apply(cw, c, key), c, key) == cw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyActuallyChangesWires(t *testing.T) {
+	ks := NewKeystream(3)
+	cw := ecc.Encode(0x123456789abcdef0)
+	for _, c := range allChoices() {
+		if got := Apply(cw, c, ks.Next()); got == cw {
+			t.Errorf("%v left the codeword unchanged", c)
+		}
+	}
+	if got := Apply(cw, Choice{Method: None}, ecc.Codeword{}); got != cw {
+		t.Error("None modified the codeword")
+	}
+}
+
+func TestGranularityWindowsDisjoint(t *testing.T) {
+	// Header and payload windows must partition the codeword.
+	if len(headerPos)+len(payloadPos) != ecc.CodewordBits {
+		t.Fatalf("windows cover %d+%d of %d wires", len(headerPos), len(payloadPos), ecc.CodewordBits)
+	}
+	seen := map[int]bool{}
+	for _, p := range append(append([]int{}, headerPos...), payloadPos...) {
+		if seen[p] {
+			t.Fatalf("wire %d in both windows", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestHeaderOnlyLeavesPayloadWires(t *testing.T) {
+	ks := NewKeystream(4)
+	cw := ecc.Encode(0xaaaa5555ffff0000)
+	got := Apply(cw, Choice{Invert, HeaderOnly}, ks.Next())
+	for _, p := range payloadPos {
+		if got.Bit(p) != cw.Bit(p) {
+			t.Fatalf("header-only invert touched payload wire %d", p)
+		}
+	}
+	changed := false
+	for _, p := range headerPos {
+		if got.Bit(p) != cw.Bit(p) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("header-only invert changed nothing")
+	}
+}
+
+func TestTwoFlipsSurviveUndo(t *testing.T) {
+	// The core compatibility property with SECDED: a trojan's 2-bit strike
+	// on the obfuscated word is still exactly 2 flips after undo, so the
+	// fault is still detected, never silently absorbed.
+	ks := NewKeystream(5)
+	for _, c := range allChoices() {
+		key := ks.Next()
+		cw := ecc.Encode(0x0123456789abcdef)
+		obf := Apply(cw, c, key)
+		struck := obf.Flip(7).Flip(41)
+		back := Undo(struck, c, key)
+		if diff := back.Xor(cw); diff.Weight() != 2 {
+			t.Errorf("%v: strike weight %d after undo, want 2", c, diff.Weight())
+		}
+	}
+}
+
+func TestPenalties(t *testing.T) {
+	if None.Penalty() != 0 {
+		t.Error("None has a penalty")
+	}
+	if Scramble.Penalty() != 2 {
+		t.Errorf("scramble penalty %d, want 2", Scramble.Penalty())
+	}
+	for _, m := range []Method{Invert, Shuffle, Reorder} {
+		if m.Penalty() != 1 {
+			t.Errorf("%v penalty %d, want 1", m, m.Penalty())
+		}
+	}
+}
+
+func TestEscalationOrderStartsWholeFlit(t *testing.T) {
+	for i, c := range EscalationOrder[:4] {
+		if c.Gran != WholeFlit {
+			t.Errorf("escalation step %d is %v, want whole-flit first", i, c)
+		}
+	}
+	for n := 0; n < len(EscalationOrder); n++ {
+		if Escalate(n) != EscalationOrder[n] {
+			t.Errorf("Escalate(%d) = %v", n, Escalate(n))
+		}
+	}
+	if c := Escalate(100); c.Method != Scramble {
+		t.Errorf("post-order escalation is %v, want scramble", c)
+	}
+}
+
+func TestMethodLog(t *testing.T) {
+	l := NewMethodLog()
+	k := FlowKey{SrcR: 1, DstR: 2, VC: 3}
+	if _, ok := l.Lookup(k); ok {
+		t.Fatal("empty log returned a method")
+	}
+	c := Choice{Invert, HeaderOnly}
+	l.Record(k, c)
+	got, ok := l.Lookup(k)
+	if !ok || got != c {
+		t.Fatalf("lookup = %v,%v", got, ok)
+	}
+	if l.Hits != 1 || l.Len() != 1 {
+		t.Fatalf("hits=%d len=%d", l.Hits, l.Len())
+	}
+	l.Forget(k)
+	if _, ok := l.Lookup(k); ok {
+		t.Fatal("forgotten flow still logged")
+	}
+}
+
+func TestKeystreamDeterminism(t *testing.T) {
+	a, b := NewKeystream(9), NewKeystream(9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed keystreams diverged")
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if (Choice{Scramble, HeaderOnly}).String() != "scramble/header" {
+		t.Errorf("choice string %q", Choice{Scramble, HeaderOnly}.String())
+	}
+	for m, w := range map[Method]string{None: "none", Scramble: "scramble", Invert: "invert", Shuffle: "shuffle", Reorder: "reorder"} {
+		if m.String() != w {
+			t.Errorf("%d = %q want %q", m, m.String(), w)
+		}
+	}
+}

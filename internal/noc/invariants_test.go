@@ -1,0 +1,112 @@
+package noc
+
+import (
+	"testing"
+
+	"tasp/internal/ecc"
+	"tasp/internal/fault"
+	"tasp/internal/flit"
+	"tasp/internal/xrand"
+)
+
+func TestInvariantsHoldOnIdleNetwork(t *testing.T) {
+	n := mkNet(t)
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(100)
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsUnderRandomTraffic hammers the network with random traffic,
+// random transient faults and a hostile nack wire, auditing every cycle.
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	n := mkNet(t)
+	rng := xrand.New(99)
+	for _, l := range n.Links() {
+		w := NewPlainWire()
+		w.Tap = fault.NewTransient(1e-4, uint64(l.ID)+5)
+		n.SetWire(l.ID, w)
+	}
+	// One hostile link that drops everything.
+	n.SetWire(7, nackWire{})
+	for c := 0; c < 3000; c++ {
+		if rng.Bool(0.5) {
+			core := rng.Intn(64)
+			dst := rng.Intn(16)
+			if dst != n.cfg.CoreRouter(core) {
+				n.Inject(core, &flit.Packet{
+					Hdr:  flit.Header{VC: uint8(rng.Intn(4)), DstR: uint8(dst), Mem: uint32(rng.Uint64())},
+					Body: make([]uint64, rng.Intn(5)),
+				})
+			}
+		}
+		n.Step()
+		if c%10 == 0 {
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", c, err)
+			}
+		}
+	}
+}
+
+// TestInvariantsWithDisabledLinks audits the link-disable/reroute path.
+func TestInvariantsWithDisabledLinks(t *testing.T) {
+	n := mkNet(t)
+	for core := 0; core < 64; core += 2 {
+		n.Inject(core, &flit.Packet{Hdr: flit.Header{VC: uint8(core % 4), DstR: uint8((core + 5) % 16)}, Body: make([]uint64, 3)})
+	}
+	n.Run(20)
+	n.DisableLink(0)
+	base := XYRoute(n.cfg)
+	n.SetRoute(func(router, dst int) int {
+		if router == 0 && base(router, dst) == PortEast {
+			return PortNorth
+		}
+		return base(router, dst)
+	})
+	for c := 0; c < 500; c++ {
+		n.Step()
+		if c%25 == 0 {
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", c, err)
+			}
+		}
+	}
+}
+
+// TestInvariantCatchesCorruption plants a deliberate credit corruption and
+// checks the auditor reports it.
+func TestInvariantCatchesCorruption(t *testing.T) {
+	n := mkNet(t)
+	n.routers[0].outputs[PortEast].credits[0]++
+	if err := n.CheckInvariants(); err == nil {
+		t.Fatal("credit corruption not caught")
+	}
+}
+
+// TestInvariantCatchesOwnershipBreach plants a retransmission entry on an
+// unowned VC.
+func TestInvariantCatchesOwnershipBreach(t *testing.T) {
+	n := mkNet(t)
+	op := n.routers[0].outputs[PortEast]
+	op.entries = append(op.entries, retransEntry{f: flit.Flit{Kind: flit.Single, Payload: ecc.Encode(0).Lo}, vc: 2})
+	op.credits[2]-- // keep credit accounting consistent
+	if err := n.CheckInvariants(); err == nil {
+		t.Fatal("ownership breach not caught")
+	}
+}
+
+func TestConfigRejectsOversizeMesh(t *testing.T) {
+	c := DefaultConfig()
+	c.Width, c.Height = 8, 8
+	if err := c.Validate(); err == nil {
+		t.Fatal("64-router mesh accepted despite 4-bit router ids")
+	}
+	c.Width, c.Height = 4, 4
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

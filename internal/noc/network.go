@@ -1,0 +1,503 @@
+package noc
+
+import (
+	"fmt"
+
+	"tasp/internal/flit"
+)
+
+// LinkInfo describes one directed router-to-router link.
+type LinkInfo struct {
+	ID       int
+	From     int // source router
+	FromPort int // output port at the source
+	To       int // destination router
+	ToPort   int // input port at the destination
+}
+
+// String renders the link for logs ("r5 east -> r6").
+func (l LinkInfo) String() string {
+	return fmt.Sprintf("r%d %s -> r%d", l.From, PortName(l.FromPort), l.To)
+}
+
+// Counters aggregates cumulative simulation statistics.
+type Counters struct {
+	InjectedPackets  uint64
+	InjectedFlits    uint64
+	DeliveredPackets uint64
+	DeliveredFlits   uint64
+	Retransmissions  uint64 // NACKed link traversals
+	CorrectedFaults  uint64 // single-bit errors fixed by SECDED
+	InjectFailures   uint64 // packets rejected by a full injection queue
+	DroppedFlits     uint64 // flits lost to link disabling (rerouting reconfiguration)
+	LatencySum       uint64
+	MaxLatency       uint64
+}
+
+// AvgLatency returns the mean end-to-end packet latency in cycles.
+func (c Counters) AvgLatency() float64 {
+	if c.DeliveredPackets == 0 {
+		return 0
+	}
+	return float64(c.LatencySum) / float64(c.DeliveredPackets)
+}
+
+// Occupancy is a point-in-time utilisation snapshot, the quantity plotted in
+// the paper's Figures 11 and 12.
+type Occupancy struct {
+	Cycle         uint64
+	InputFlits    int // flits buffered across all input VC buffers
+	OutputFlits   int // flits parked in retransmission buffers
+	InjectionFlit int // flits waiting in core injection queues
+	// BlockedRouters counts routers with at least one completely stalled
+	// (full) non-local output retransmission buffer — back-pressure.
+	BlockedRouters int
+	// AllCoresFull counts routers whose every core injection queue is full.
+	AllCoresFull int
+	// HalfCoresFull counts routers with more than half their cores full.
+	HalfCoresFull int
+}
+
+// Network is the whole simulated NoC.
+type Network struct {
+	cfg     Config
+	routers []*Router
+	nis     []*NI
+	links   []LinkInfo
+	route   RouteFunc
+	cycle   uint64
+
+	adaptive     AdaptiveRouteFunc
+	nextPacketID uint64
+	Counters     Counters
+
+	// refPacketFlits is the packet size used to judge "core full" bins.
+	refPacketFlits int
+
+	// schedule, when set, gates link traversals by (cycle, vc): TDM QoS
+	// baselines partition link bandwidth between domains with it. A nil
+	// schedule admits everything.
+	schedule func(cycle uint64, vc uint8) bool
+}
+
+// New builds a network from the configuration, fully wired with healthy
+// PlainWire links and XY routing.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, refPacketFlits: 5}
+	n.route = XYRoute(cfg)
+	for r := 0; r < cfg.Routers(); r++ {
+		n.routers = append(n.routers, newRouter(r, cfg))
+		ni := newNI(r, cfg)
+		n.nis = append(n.nis, ni)
+	}
+	// Wire the mesh: for each adjacent pair, two directed links.
+	connect := func(from, fromPort, to, toPort int) {
+		id := len(n.links)
+		n.links = append(n.links, LinkInfo{ID: id, From: from, FromPort: fromPort, To: to, ToPort: toPort})
+		op := n.routers[from].outputs[fromPort]
+		op.linkID = id
+		op.wire = NewPlainWire()
+		n.routers[to].ups[toPort] = op
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			r := cfg.RouterAt(x, y)
+			if x+1 < cfg.Width {
+				e := cfg.RouterAt(x+1, y)
+				connect(r, PortEast, e, PortWest)
+				connect(e, PortWest, r, PortEast)
+			}
+			if y+1 < cfg.Height {
+				s := cfg.RouterAt(x, y+1)
+				connect(r, PortNorth, s, PortSouth)
+				connect(s, PortSouth, r, PortNorth)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() uint64 { return n.cycle }
+
+// Links returns descriptors of every directed router-to-router link.
+func (n *Network) Links() []LinkInfo { return append([]LinkInfo(nil), n.links...) }
+
+// LinkOutput returns the output port driving the given link, exposing its
+// per-link counters.
+func (n *Network) LinkOutput(linkID int) *outputPort {
+	l := n.links[linkID]
+	return n.routers[l.From].outputs[l.FromPort]
+}
+
+// SetWire replaces the Wire of one link (to install a compromised or secured
+// link). It panics on an invalid link id.
+func (n *Network) SetWire(linkID int, w Wire) {
+	l := n.links[linkID]
+	n.routers[l.From].outputs[l.FromPort].wire = w
+}
+
+// Wire returns the current Wire of a link.
+func (n *Network) Wire(linkID int) Wire {
+	l := n.links[linkID]
+	return n.routers[l.From].outputs[l.FromPort].wire
+}
+
+// DisableLink marks a link permanently failed: the switch allocator stops
+// granting flits to it. Used by the rerouting baseline after BIST flags a
+// permanent fault. As in Ariadne-style reconfiguration, in-flight traffic
+// committed to the dead link is dropped: the parked retransmission entries
+// and any input-VC contents already routed toward the port. Orphaned body
+// flits of truncated packets are discarded when they reach a buffer front
+// (see phaseRC).
+func (n *Network) DisableLink(linkID int) {
+	l := n.links[linkID]
+	r := n.routers[l.From]
+	op := r.outputs[l.FromPort]
+	op.disabled = true
+	n.Counters.DroppedFlits += uint64(len(op.entries))
+	op.entries = nil
+	for v := range op.vcOwner {
+		op.vcOwner[v] = 0
+	}
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if ivc.routed && ivc.route == l.FromPort {
+				n.Counters.DroppedFlits += uint64(len(ivc.buf))
+				if up := r.ups[p]; up != nil {
+					up.credits[v] += len(ivc.buf) // freed slots
+				}
+				ivc.buf = nil
+				ivc.routed = false
+				ivc.allocated = false
+			}
+		}
+	}
+}
+
+// LinkDisabled reports whether the link has been disabled.
+func (n *Network) LinkDisabled(linkID int) bool {
+	l := n.links[linkID]
+	return n.routers[l.From].outputs[l.FromPort].disabled
+}
+
+// SetRoute replaces the routing function (rerouting baselines install
+// fault-aware tables here) and clears any adaptive function.
+func (n *Network) SetRoute(fn RouteFunc) { n.route, n.adaptive = fn, nil }
+
+// SetAdaptiveRoute installs a turn-model adaptive routing function: at RC
+// time the router picks, among the candidates, the output with the most
+// free downstream credits (ties broken by candidate order, so the first
+// candidate is the deterministic fallback).
+func (n *Network) SetAdaptiveRoute(fn AdaptiveRouteFunc) {
+	n.adaptive = fn
+	n.route = func(router, dst int) int {
+		cands := fn(router, dst)
+		best, bestScore := cands[0], -1<<30
+		for _, p := range cands {
+			op := n.routers[router].outputs[p]
+			if op.disabled {
+				continue
+			}
+			score := 0
+			for _, c := range op.credits {
+				score += c
+			}
+			score -= 2 * len(op.entries)
+			if score > bestScore {
+				best, bestScore = p, score
+			}
+		}
+		return best
+	}
+}
+
+// SetLinkSchedule installs a TDM link-admission gate: a router-to-router
+// traversal on virtual channel vc may only happen in cycles for which the
+// schedule returns true. Ejection to the local NI is never gated.
+func (n *Network) SetLinkSchedule(fn func(cycle uint64, vc uint8) bool) { n.schedule = fn }
+
+// SetDelivered installs a delivery callback on every NI.
+func (n *Network) SetDelivered(fn func(d Delivery)) {
+	for _, ni := range n.nis {
+		ni.Delivered = fn
+	}
+}
+
+// SetRefPacketFlits sets the packet size used for "core full" accounting.
+func (n *Network) SetRefPacketFlits(flits int) { n.refPacketFlits = flits }
+
+// Inject submits a packet from a core. The header's source fields are
+// overwritten to match the core; the packet id and injection cycle are
+// assigned here. It returns false (and counts an InjectFailure) when the
+// core's injection queue cannot hold the packet.
+func (n *Network) Inject(core int, p *flit.Packet) bool {
+	r := n.cfg.CoreRouter(core)
+	p.Hdr.SrcR = uint8(r)
+	p.Hdr.SrcC = uint8(core % n.cfg.Concentration)
+	p.ID = n.nextPacketID
+	p.Inject = n.cycle
+	fs := p.Flits()
+	if !n.nis[r].enqueue(core%n.cfg.Concentration, fs) {
+		n.Counters.InjectFailures++
+		return false
+	}
+	n.nextPacketID++
+	n.Counters.InjectedPackets++
+	n.Counters.InjectedFlits += uint64(len(fs))
+	return true
+}
+
+// Step advances the whole network by one clock cycle. Phase order within a
+// step models the 5-stage pipeline: SA/ST and VA and RC operate on state
+// registered in earlier cycles, then LT moves flits across links (including
+// the ECC/obfuscation/trojan path inside each Wire), then injection fills
+// the local input ports.
+func (n *Network) Step() {
+	n.cycle++
+	credit := func(up *outputPort, vc int) { up.credits[vc]++ }
+	for _, r := range n.routers {
+		r.phaseSAST(n.cfg, n.cycle, credit)
+	}
+	for _, r := range n.routers {
+		r.phaseVA(n.cfg)
+	}
+	for _, r := range n.routers {
+		r.phaseRC(n.route, n.cycle, &n.Counters.DroppedFlits)
+	}
+	for _, r := range n.routers {
+		for p := 0; p < NumPorts; p++ {
+			n.phaseLT(r.outputs[p])
+		}
+	}
+	for i, r := range n.routers {
+		n.nis[i].inject(r, n.cycle)
+	}
+}
+
+// Run advances the network by k cycles.
+func (n *Network) Run(k int) {
+	for i := 0; i < k; i++ {
+		n.Step()
+	}
+}
+
+// phaseLT attempts one link traversal on an output port: the first sendable
+// retransmission-buffer entry crosses the Wire; on ACK it is retired and the
+// flit deposited downstream, on NACK it waits RetransPenalty cycles and the
+// attempt counter feeds the Wire's obfuscation escalation. Entries of a
+// blocked VC may be overtaken by entries of other VCs (Figure 7's flit 3
+// passing the stalled flit 2), but per-VC order is preserved for wormhole
+// integrity.
+func (n *Network) phaseLT(op *outputPort) {
+	if op.disabled || len(op.entries) == 0 {
+		// The port is stalled only if work is waiting for it somewhere in
+		// the router and it cannot move; with no parked entries, check the
+		// input side before declaring progress.
+		if op.disabled || !n.routers[op.router].hasWorkFor(op.port) {
+			op.lastProgress = n.cycle
+		}
+		if len(op.entries) == 0 {
+			return
+		}
+	}
+	var blocked [4]bool // per-VC; cfg.VCs <= 4
+	pick := -1
+	for i := range op.entries {
+		e := &op.entries[i]
+		if blocked[e.vc] {
+			continue
+		}
+		if e.nextTry > n.cycle || e.enqueuedAt >= n.cycle ||
+			(!op.ejection && n.schedule != nil && !n.schedule(n.cycle, e.vc)) {
+			blocked[e.vc] = true
+			continue
+		}
+		pick = i
+		break
+	}
+	if pick < 0 {
+		return
+	}
+	e := &op.entries[pick]
+	delivered, res := op.wire.Transmit(n.cycle, e.f, e.vc, e.attempts)
+	if res.Corrected {
+		n.Counters.CorrectedFaults++
+	}
+	if !res.OK {
+		e.attempts++
+		e.nextTry = n.cycle + uint64(n.cfg.RetransPenalty)
+		op.Retransmissions++
+		n.Counters.Retransmissions++
+		if n.cfg.MaxAttempts > 0 && e.attempts >= n.cfg.MaxAttempts {
+			if !op.ejection {
+				op.credits[e.vc]++ // release the reserved downstream slot
+			}
+			op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
+		}
+		return
+	}
+	op.FlitsSent++
+	op.lastProgress = n.cycle
+	if delivered.IsTail() {
+		op.vcOwner[e.vc] = 0
+	}
+	if op.ejection {
+		n.Counters.DeliveredFlits++
+		if done, lat := n.nis[op.router].receive(delivered, n.cycle); done {
+			n.Counters.DeliveredPackets++
+			n.Counters.LatencySum += lat
+			if lat > n.Counters.MaxLatency {
+				n.Counters.MaxLatency = lat
+			}
+		}
+	} else {
+		// The credit for this slot was already reserved at switch
+		// allocation; deposit without touching the counter.
+		l := n.links[op.linkID]
+		ivc := &n.routers[l.To].inputs[l.ToPort][e.vc]
+		ivc.buf = append(ivc.buf, bufFlit{
+			f:       delivered,
+			readyAt: n.cycle + 1 + uint64(res.Stall),
+		})
+	}
+	op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
+}
+
+// Occupancy computes the utilisation snapshot the paper plots in Figures 11
+// and 12.
+func (n *Network) Occupancy() Occupancy {
+	return n.OccupancyWhere(nil, nil)
+}
+
+// OccupancyWhere computes a filtered snapshot: only VCs with vcIn(vc) true
+// and cores with coreIn(globalCoreID) true are counted (nil means all).
+// TDM experiments use it to split utilisation per domain (Figure 12's D1
+// and D2 series).
+func (n *Network) OccupancyWhere(vcIn func(vc int) bool, coreIn func(core int) bool) Occupancy {
+	allVC := func(int) bool { return true }
+	allCore := func(int) bool { return true }
+	if vcIn == nil {
+		vcIn = allVC
+	}
+	if coreIn == nil {
+		coreIn = allCore
+	}
+	stall := uint64(n.cfg.StallThreshold)
+	if stall == 0 {
+		stall = 50
+	}
+	o := Occupancy{Cycle: n.cycle}
+	for i, r := range n.routers {
+		blocked := false
+		for p := 0; p < NumPorts; p++ {
+			for v := range r.inputs[p] {
+				if vcIn(v) {
+					o.InputFlits += len(r.inputs[p][v].buf)
+				}
+			}
+			op := r.outputs[p]
+			for _, e := range op.entries {
+				if vcIn(int(e.vc)) {
+					o.OutputFlits++
+				}
+			}
+			if p != PortLocal && !op.disabled && n.cycle-op.lastProgress >= stall {
+				blocked = true
+			}
+		}
+		if blocked {
+			o.BlockedRouters++
+		}
+		full, cores := 0, 0
+		for c := 0; c < n.cfg.Concentration; c++ {
+			if !coreIn(i*n.cfg.Concentration + c) {
+				continue
+			}
+			cores++
+			o.InjectionFlit += len(n.nis[i].queues[c])
+			if n.nis[i].coreFull(c, n.refPacketFlits) {
+				full++
+			}
+		}
+		if cores > 0 && full == cores {
+			o.AllCoresFull++
+		}
+		if cores > 0 && full*2 > cores {
+			o.HalfCoresFull++
+		}
+	}
+	return o
+}
+
+// DebugRetransVCs exposes the VCs of the entries currently parked in a
+// link's retransmission buffer (testing/diagnostics only).
+func (n *Network) DebugRetransVCs(linkID int) []uint8 {
+	op := n.LinkOutput(linkID)
+	var out []uint8
+	for _, e := range op.entries {
+		out = append(out, e.vc)
+	}
+	return out
+}
+
+// DebugDump renders the full buffer/credit/ownership state of every router
+// whose buffers are non-empty — the tool for diagnosing wedged networks.
+func (n *Network) DebugDump() string {
+	var sb []byte
+	app := func(format string, args ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(format, args...))...) }
+	for _, r := range n.routers {
+		busy := false
+		for p := 0; p < NumPorts; p++ {
+			for v := range r.inputs[p] {
+				if len(r.inputs[p][v].buf) > 0 {
+					busy = true
+				}
+			}
+			if len(r.outputs[p].entries) > 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			continue
+		}
+		app("router %d:\n", r.id)
+		for p := 0; p < NumPorts; p++ {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if len(ivc.buf) == 0 {
+					continue
+				}
+				f := ivc.buf[0]
+				app("  in %s vc%d: %d flits routed=%v route=%d alloc=%v front={pkt %d idx %d %v ready %d}\n",
+					PortName(p), v, len(ivc.buf), ivc.routed, ivc.route, ivc.allocated,
+					f.f.PacketID, f.f.Index, f.f.Kind, f.readyAt)
+			}
+			op := r.outputs[p]
+			if len(op.entries) > 0 || anyOwner(op.vcOwner) {
+				app("  out %s: owner=%v credits=%v entries=", PortName(p), op.vcOwner, op.credits)
+				for _, e := range op.entries {
+					app("{pkt %d idx %d vc%d att%d next%d} ", e.f.PacketID, e.f.Index, e.vc, e.attempts, e.nextTry)
+				}
+				app("\n")
+			}
+		}
+	}
+	return string(sb)
+}
+
+func anyOwner(o []uint64) bool {
+	for _, v := range o {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package noc
+
+import "tasp/internal/flit"
+
+// NI is the network interface of one router tile: per-core injection queues
+// feeding the router's local input port through a concentrator, and packet
+// reassembly on the ejection side.
+// Delivery describes one fully reassembled packet at its destination NI.
+type Delivery struct {
+	ID      uint64      // packet id
+	Hdr     flit.Header // the head flit's routing header
+	Flits   int         // packet length
+	Latency uint64      // injection-to-tail cycles
+}
+
+// NI is the network interface of one router tile: per-core injection queues
+// feeding the router's local input port through a concentrator, and packet
+// reassembly on the ejection side.
+type NI struct {
+	router  int
+	cfg     Config
+	queues  [][]flit.Flit // one per local core, flit granularity
+	injLock []int         // vc -> core currently injecting a packet, -1 free
+	rrCore  int           // concentrator round-robin pointer
+
+	rx map[uint64]*rxState // packet id -> reassembly state
+
+	// Delivered is invoked for each fully reassembled packet. May be nil.
+	Delivered func(d Delivery)
+}
+
+// rxState tracks one packet's reassembly.
+type rxState struct {
+	hdr   flit.Header
+	flits int
+}
+
+func newNI(router int, cfg Config) *NI {
+	ni := &NI{
+		router:  router,
+		cfg:     cfg,
+		queues:  make([][]flit.Flit, cfg.Concentration),
+		injLock: make([]int, cfg.VCs),
+		rx:      map[uint64]*rxState{},
+	}
+	for v := range ni.injLock {
+		ni.injLock[v] = -1
+	}
+	return ni
+}
+
+// enqueue appends a packet's flits to the core-local injection queue if the
+// whole packet fits; otherwise it reports failure and queues nothing (the
+// source must retry — this is how full cores throttle, and what the paper's
+// "cores full" bins measure).
+func (ni *NI) enqueue(core int, fs []flit.Flit) bool {
+	q := ni.queues[core]
+	if len(q)+len(fs) > ni.cfg.InjQueueCap {
+		return false
+	}
+	ni.queues[core] = append(q, fs...)
+	return true
+}
+
+// coreFull reports whether a core's injection queue cannot accept a packet
+// of the given flit count.
+func (ni *NI) coreFull(core, packetFlits int) bool {
+	return len(ni.queues[core])+packetFlits > ni.cfg.InjQueueCap
+}
+
+// occupancy returns the total flits waiting across this NI's queues.
+func (ni *NI) occupancy() int {
+	n := 0
+	for _, q := range ni.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// fullCores returns how many of the NI's cores have (nearly) full queues:
+// a queue is "full" when it cannot accept another maximal packet.
+func (ni *NI) fullCores(packetFlits int) int {
+	n := 0
+	for c := range ni.queues {
+		if ni.coreFull(c, packetFlits) {
+			n++
+		}
+	}
+	return n
+}
+
+// inject moves at most one flit from the concentrator into the router's
+// local input port (the BW stage of the injection path). Wormhole integrity
+// across cores sharing a VC is preserved by injLock: once a core's head flit
+// enters VC v, other cores may not interleave flits on v until the tail.
+func (ni *NI) inject(r *Router, cycle uint64) bool {
+	for k := 0; k < ni.cfg.Concentration; k++ {
+		core := (ni.rrCore + k) % ni.cfg.Concentration
+		q := ni.queues[core]
+		if len(q) == 0 {
+			continue
+		}
+		f := q[0]
+		v := int(f.Header().VC)
+		if !f.IsHead() {
+			// Body/tail flits ride the VC their head locked.
+			v = ni.lockedVC(core)
+			if v < 0 {
+				continue // should not happen; skip defensively
+			}
+		} else if ni.injLock[v] != -1 && ni.injLock[v] != core {
+			continue // VC locked by another core's in-flight packet
+		}
+		ivc := &r.inputs[PortLocal][v]
+		if len(ivc.buf) >= ni.cfg.BufDepth {
+			continue
+		}
+		ivc.buf = append(ivc.buf, bufFlit{f: f, readyAt: cycle + 1})
+		ni.queues[core] = q[1:]
+		if f.IsHead() && !f.IsTail() {
+			ni.injLock[v] = core
+		}
+		if f.IsTail() {
+			if v >= 0 && ni.injLock[v] == core {
+				ni.injLock[v] = -1
+			}
+		}
+		ni.rrCore = core + 1
+		return true
+	}
+	return false
+}
+
+// lockedVC returns the VC a core currently holds an injection lock on.
+func (ni *NI) lockedVC(core int) int {
+	for v, c := range ni.injLock {
+		if c == core {
+			return v
+		}
+	}
+	return -1
+}
+
+// receive accepts an ejected flit and completes reassembly on the tail.
+func (ni *NI) receive(f flit.Flit, cycle uint64) (done bool, latency uint64) {
+	st := ni.rx[f.PacketID]
+	if st == nil {
+		st = &rxState{}
+		ni.rx[f.PacketID] = st
+	}
+	st.flits++
+	if f.IsHead() {
+		st.hdr = f.Header()
+	}
+	if !f.IsTail() {
+		return false, 0
+	}
+	delete(ni.rx, f.PacketID)
+	lat := cycle - f.InjectAt
+	if ni.Delivered != nil {
+		ni.Delivered(Delivery{ID: f.PacketID, Hdr: st.hdr, Flits: st.flits, Latency: lat})
+	}
+	return true, lat
+}

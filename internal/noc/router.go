@@ -1,0 +1,289 @@
+package noc
+
+import "tasp/internal/flit"
+
+// bufFlit is a buffered flit plus the cycle from which it may compete for
+// switch allocation (models pipeline latency and obfuscation-undo stalls).
+type bufFlit struct {
+	f       flit.Flit
+	readyAt uint64
+}
+
+// inputVC is one virtual-channel FIFO of an input port, plus the wormhole
+// state of the packet currently at its front: the computed route (RC) and
+// whether the downstream VC has been allocated (VA). Both persist from the
+// head flit until the tail is popped.
+type inputVC struct {
+	buf       []bufFlit
+	routed    bool
+	route     int
+	allocated bool
+}
+
+func (v *inputVC) empty() bool { return len(v.buf) == 0 }
+
+func (v *inputVC) front() *bufFlit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return &v.buf[0]
+}
+
+func (v *inputVC) pop() flit.Flit {
+	f := v.buf[0].f
+	v.buf = v.buf[1:]
+	return f
+}
+
+// retransEntry is a flit parked in an output retransmission buffer, awaiting
+// link traversal and its switch-to-switch ACK.
+type retransEntry struct {
+	f          flit.Flit
+	vc         uint8
+	attempts   int    // prior failed traversals of this flit
+	nextTry    uint64 // earliest cycle the next attempt may happen
+	enqueuedAt uint64 // cycle the flit entered this buffer (ST)
+}
+
+// outputPort owns the retransmission buffer behind one crossbar output, the
+// credit and VC-ownership state of the downstream input port, and the wire.
+type outputPort struct {
+	router int
+	port   int
+	linkID int // index into Network.links; -1 for the local ejection port
+
+	entries  []retransEntry
+	vcOwner  []uint64 // downstream input VC -> owning packet id + 1 (0 = free)
+	credits  []int    // downstream input VC -> free buffer slots
+	wire     Wire
+	disabled bool
+
+	ejection bool // local port: delivers to the NI, no credits
+
+	saPtr int // round-robin pointer for switch allocation
+	vaPtr int // round-robin pointer for VC allocation
+
+	// lastProgress is the last cycle this port delivered a flit or had an
+	// empty retransmission buffer; the stall detector in Occupancy uses it
+	// to tell deadlock from transient congestion.
+	lastProgress uint64
+
+	// FlitsSent counts successful traversals (Figure 1(c) link loads).
+	FlitsSent uint64
+	// Retransmissions counts NACKed attempts on this link.
+	Retransmissions uint64
+}
+
+func (op *outputPort) full(depth int) bool { return len(op.entries) >= depth }
+
+// hasSpace checks admission into the retransmission storage for a flit of
+// the given VC under the configured scheme: one shared post-crossbar buffer
+// (default, the paper's worst case), half-split (TDM non-interference), or
+// per-VC buffers (Figure 5's second scheme).
+func (op *outputPort) hasSpace(cfg Config, vc int) bool {
+	switch {
+	case cfg.RetransPerVC:
+		used := 0
+		for _, e := range op.entries {
+			if int(e.vc) == vc {
+				used++
+			}
+		}
+		return used < cfg.RetransDepth
+	case cfg.PartitionRetrans:
+		quota := cfg.RetransDepth / 2
+		if quota < 1 {
+			quota = 1
+		}
+		half := cfg.VCs / 2
+		used := 0
+		for _, e := range op.entries {
+			if (int(e.vc) < half) == (vc < half) {
+				used++
+			}
+		}
+		return used < quota
+	default:
+		return len(op.entries) < cfg.RetransDepth
+	}
+}
+
+// retransCap returns the total entries an output port may hold.
+func retransCap(cfg Config) int {
+	if cfg.RetransPerVC {
+		return cfg.RetransDepth * cfg.VCs
+	}
+	return cfg.RetransDepth
+}
+
+// Router is one mesh router: 5 input ports of VCs and 5 output ports.
+type Router struct {
+	id      int
+	inputs  [NumPorts][]inputVC
+	outputs [NumPorts]*outputPort
+	// ups[p] is the upstream output port feeding input port p (nil for the
+	// local injection port); credits return there when a slot frees.
+	ups [NumPorts]*outputPort
+}
+
+func newRouter(id int, cfg Config) *Router {
+	r := &Router{id: id}
+	for p := 0; p < NumPorts; p++ {
+		r.inputs[p] = make([]inputVC, cfg.VCs)
+		r.outputs[p] = &outputPort{
+			router:  id,
+			port:    p,
+			linkID:  -1,
+			vcOwner: make([]uint64, cfg.VCs),
+			credits: make([]int, cfg.VCs),
+		}
+		for v := range r.outputs[p].credits {
+			r.outputs[p].credits[v] = cfg.BufDepth
+		}
+	}
+	lp := r.outputs[PortLocal]
+	lp.ejection = true
+	lp.wire = perfectWire{}
+	return r
+}
+
+// hasWorkFor reports whether any input VC holds a flit destined for the
+// given output port — used by the stall detector to distinguish an idle
+// port from a starved one.
+func (r *Router) hasWorkFor(port int) bool {
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if len(ivc.buf) > 0 && ivc.routed && ivc.route == port {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// phaseRC computes routes for head flits that reached the front of their VC
+// buffer (the BW/RC pipeline stage). It also retires debris left by link
+// disabling: heads whose computed route now points at a dead port are
+// re-routed, and orphaned body/tail flits of truncated packets are dropped.
+func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			for {
+				f := ivc.front()
+				if f == nil || f.readyAt > cycle {
+					// Not yet visible to the pipeline: an obfuscated flit
+					// is opaque until L-Ob has undone it (the 1-2 cycle
+					// penalty of Figure 7), so route computation waits.
+					break
+				}
+				if !f.f.IsHead() && !ivc.routed {
+					// Orphan: its head was dropped with a disabled link.
+					ivc.pop()
+					*dropped++
+					if up := r.ups[p]; up != nil {
+						up.credits[v]++ // freed slot
+					}
+					continue
+				}
+				if f.f.IsHead() && ivc.routed && !ivc.allocated &&
+					r.outputs[ivc.route].disabled {
+					ivc.routed = false // stale route to a dead port
+				}
+				if f.f.IsHead() && !ivc.routed {
+					ivc.route = route(r.id, int(f.f.Header().DstR))
+					ivc.routed = true
+				}
+				break
+			}
+		}
+	}
+}
+
+// phaseVA allocates the downstream virtual channel to routed head flits.
+// VCs are static along the path (the header's VC field, which is also what
+// the TASP trojan snoops), so allocation means acquiring ownership of the
+// same-numbered VC at the chosen output. Round-robin across input ports
+// resolves contention.
+func (r *Router) phaseVA(cfg Config) {
+	for o := 0; o < NumPorts; o++ {
+		op := r.outputs[o]
+		for k := 0; k < NumPorts*cfg.VCs; k++ {
+			idx := (op.vaPtr + k) % (NumPorts * cfg.VCs)
+			p, v := idx/cfg.VCs, idx%cfg.VCs
+			ivc := &r.inputs[p][v]
+			f := ivc.front()
+			if f == nil || !f.f.IsHead() || !ivc.routed || ivc.allocated || ivc.route != o {
+				continue
+			}
+			if op.vcOwner[v] != 0 {
+				continue // downstream VC held by another packet
+			}
+			op.vcOwner[v] = f.f.PacketID + 1
+			ivc.allocated = true
+			op.vaPtr = idx + 1
+			break // one VC allocation per output per cycle
+		}
+	}
+}
+
+// phaseSAST performs switch allocation and switch traversal: one winning
+// flit per output port (and at most one per input port) moves through the
+// crossbar into the output retransmission buffer. Freed input slots return
+// a credit upstream.
+func (r *Router) phaseSAST(cfg Config, cycle uint64, credit func(up *outputPort, vc int)) {
+	var inputUsed [NumPorts]bool
+	for o := 0; o < NumPorts; o++ {
+		op := r.outputs[o]
+		if op.full(retransCap(cfg)) || op.disabled {
+			continue
+		}
+		n := NumPorts * cfg.VCs
+		for k := 0; k < n; k++ {
+			idx := (op.saPtr + k) % n
+			p, v := idx/cfg.VCs, idx%cfg.VCs
+			if inputUsed[p] || !op.hasSpace(cfg, v) {
+				continue
+			}
+			ivc := &r.inputs[p][v]
+			f := ivc.front()
+			if f == nil || f.readyAt > cycle {
+				continue
+			}
+			if !ivc.routed || ivc.route != o {
+				continue
+			}
+			if f.f.IsHead() && !ivc.allocated {
+				continue
+			}
+			// The downstream buffer slot is reserved here, at switch
+			// allocation: a flit never enters the retransmission buffer
+			// without a credit. This keeps the shared post-crossbar
+			// buffer free of credit-starved entries, which would
+			// otherwise create cross-VC dependency cycles and deadlock
+			// the healthy network.
+			if !op.ejection && op.credits[v] <= 0 {
+				continue
+			}
+			// Grant: traverse the crossbar into the retransmission buffer.
+			fl := ivc.pop()
+			if !op.ejection {
+				op.credits[v]--
+			}
+			inputUsed[p] = true
+			op.saPtr = idx + 1
+			op.entries = append(op.entries, retransEntry{
+				f: fl, vc: uint8(v), enqueuedAt: cycle,
+			})
+			if fl.IsTail() {
+				ivc.routed = false
+				ivc.allocated = false
+			}
+			if up := r.ups[p]; up != nil {
+				credit(up, v)
+			}
+			break // one grant per output port per cycle
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package power
+
+import "testing"
+
+func TestDVFSScalingDirections(t *testing.T) {
+	b := BuildTASP(TASPFull)
+	nom := DefaultOperatingPoints[1]
+	if nom.FreqGHz != DefaultFreqGHz || nom.Voltage != DefaultVoltage {
+		t.Fatalf("nominal point drifted: %+v", nom)
+	}
+	turbo, low := DefaultOperatingPoints[0], DefaultOperatingPoints[3]
+
+	if !(DynamicAt(b, turbo) > DynamicAt(b, nom) && DynamicAt(b, nom) > DynamicAt(b, low)) {
+		t.Fatal("dynamic power not monotone in operating point")
+	}
+	if !(LeakageAt(b, turbo) > LeakageAt(b, nom) && LeakageAt(b, nom) > LeakageAt(b, low)) {
+		t.Fatal("leakage not monotone in voltage")
+	}
+	if !(CriticalPathAt(b, low) > CriticalPathAt(b, nom)) {
+		t.Fatal("delay must stretch at low voltage")
+	}
+	// At nominal, the helpers must agree with the base methods.
+	if DynamicAt(b, nom) != b.Dynamic(DefaultFreqGHz) {
+		t.Fatal("nominal dynamic mismatch")
+	}
+	if LeakageAt(b, nom) != b.Leakage() {
+		t.Fatal("nominal leakage mismatch")
+	}
+}
+
+// TestTASPFitsAcrossDVFSLadder reproduces the paper's Section V-A remark:
+// every TASP variant fits the LT stage's clock window at every DVFS
+// operating point, including the stretched-delay low-voltage ones.
+func TestTASPFitsAcrossDVFSLadder(t *testing.T) {
+	for _, v := range TASPVariants {
+		b := BuildTASP(v)
+		for _, op := range DefaultOperatingPoints {
+			if !MeetsTimingAt(b, op) {
+				t.Errorf("%s misses timing at %s (%.0f ps vs %.0f ps period)",
+					v, op.Name, CriticalPathAt(b, op), 1000.0/op.FreqGHz)
+			}
+		}
+	}
+}
+
+// TestRouterTimingAtTurbo: the router's own pipeline must close timing at
+// every ladder point too, otherwise the platform itself is implausible.
+func TestRouterTimingAtTurbo(t *testing.T) {
+	r := BuildRouter(DefaultRouterParams())
+	for _, op := range DefaultOperatingPoints {
+		if !MeetsTimingAt(r, op) {
+			t.Errorf("router misses timing at %s: %.0f ps", op.Name, CriticalPathAt(r, op))
+		}
+	}
+}
+
+func TestDVFSEnergyQuadratic(t *testing.T) {
+	b := BuildTASP(TASPVC)
+	hi := OperatingPoint{FreqGHz: 2, Voltage: 2 * DefaultVoltage}
+	if got, want := DynamicAt(b, hi), 4*b.Dynamic(2); got != want {
+		t.Fatalf("V^2 scaling broken: %g vs %g", got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package power
+
+// RouterParams describes the paper's router micro-architecture for the
+// hardware model: 5 ports (4 mesh + 1 local concentrator), 4 VCs per port,
+// 4 x 64-bit buffer slots per VC, a 72-bit crossbar datapath (codewords),
+// per-port SECDED codecs and per-output retransmission buffers.
+type RouterParams struct {
+	Ports        int // router ports (5 for a concentrated mesh router)
+	VCs          int // virtual channels per port
+	SlotsPerVC   int // buffer slots per VC
+	FlitBits     int // flit width before ECC
+	LinkBits     int // codeword width on the wire
+	RetransSlots int // retransmission buffer slots per output
+	// WithMitigation adds the threat detector and L-Ob blocks.
+	WithMitigation bool
+}
+
+// DefaultRouterParams matches the paper's evaluation platform (Section V).
+func DefaultRouterParams() RouterParams {
+	return RouterParams{
+		Ports:        5,
+		VCs:          4,
+		SlotsPerVC:   4,
+		FlitBits:     64,
+		LinkBits:     72,
+		RetransSlots: 4,
+	}
+}
+
+// BuildRouter constructs the gate-level model of one NoC router. Sub-blocks
+// are named to match the paper's Figure 8 breakdown: "buffer" (input VC
+// buffers, retransmission buffers and the ECC codecs that guard them),
+// "crossbar", "switch-allocator" (SA + VA + route computation) and "clock".
+// When p.WithMitigation is set, "threat-detector" and "l-ob" are added
+// (Table II).
+func BuildRouter(p RouterParams) *Block {
+	b := NewBlock("router", 0)
+
+	// ---- buffer: input VC FIFOs + output retransmission FIFOs + ECC ----
+	buf := NewBlock("buffer", 0.25)
+	for port := 0; port < p.Ports; port++ {
+		for vc := 0; vc < p.VCs; vc++ {
+			buf.AddSub(FIFO("vc-fifo", p.SlotsPerVC, p.FlitBits, 0.25))
+		}
+		buf.AddSub(FIFO("retrans-fifo", p.RetransSlots, p.LinkBits, 0.25))
+		buf.AddSub(ECCEncoder("ecc-enc", 0.15))
+		buf.AddSub(ECCDecoder("ecc-dec", 0.15))
+	}
+	b.AddSub(buf)
+
+	// ---- crossbar: ports x ports at link width, including the wire load
+	// of the datapath spans across the router floorplan ----
+	xbar := Crossbar("crossbar", p.Ports, p.LinkBits, 0.25)
+	wires := NewBlock("wire-load", 0.25)
+	wires.Add(WIRE, p.Ports*p.LinkBits) // ~0.1 mm per crossbar span
+	xbar.AddSub(wires)
+	b.AddSub(xbar)
+
+	// ---- switch allocator: SA + VA + route computation ----
+	alloc := NewBlock("switch-allocator", 0)
+	alloc.AddSub(Allocator("sa", p.Ports, p.Ports, 0.20))
+	alloc.AddSub(Allocator("va", p.Ports*p.VCs, p.Ports*p.VCs, 0.08))
+	rc := NewBlock("rc", 0.2) // XY route computation per input port
+	rc.Add(FA, 8*p.Ports).Add(AND2, 6*p.Ports).Add(INV, 4*p.Ports)
+	alloc.AddSub(rc)
+	b.AddSub(alloc)
+
+	// ---- mitigation (Table II) ----
+	if p.WithMitigation {
+		b.AddSub(BuildThreatDetector())
+		b.AddSub(BuildLOb())
+	}
+
+	// ---- clock tree over every storage cell in the router ----
+	b.AddSub(ClockTree("clock", CountFFs(b)))
+	return b
+}
+
+// NoCParams describes the full chip for Figure 8's NoC-level pies.
+type NoCParams struct {
+	Routers      int     // router count (16)
+	Links        int     // unidirectional inter-router links (48 in a 4x4 mesh, both directions)
+	LinkBits     int     // wires per link
+	LinkLengthMM float64 // physical length of one link
+	Router       RouterParams
+}
+
+// DefaultNoCParams matches the paper's 64-core, 16-router, 48-link mesh.
+// A 4x4 mesh has 24 router-to-router connections; the paper counts the two
+// unidirectional links of each connection separately ("TASP on all 48
+// links").
+func DefaultNoCParams() NoCParams {
+	return NoCParams{
+		Routers:      16,
+		Links:        48,
+		LinkBits:     72,
+		LinkLengthMM: 2.0, // 64 cores at 40 nm => ~8 mm die, ~2 mm router pitch
+		Router:       DefaultRouterParams(),
+	}
+}
+
+// NoCModel aggregates the chip-level hardware totals used by Figure 8.
+type NoCModel struct {
+	Router       *Block // one router instance
+	RouterArea   float64
+	ActiveArea   float64 // all routers
+	WireArea     float64 // global link wiring
+	TASP         *Block  // one TASP-Full trojan
+	TASPArea     float64 // one trojan
+	AllTASPArea  float64 // trojan on every link
+	RouterDynUW  float64
+	TASPDynUW    float64
+	AllTASPDynUW float64
+	NoCDynUW     float64
+}
+
+// BuildNoC computes the chip-level model at the given clock.
+func BuildNoC(p NoCParams, freqGHz float64) NoCModel {
+	r := BuildRouter(p.Router)
+	t := BuildTASP(TASPFull)
+	m := NoCModel{Router: r, TASP: t}
+	m.RouterArea = r.Area()
+	m.ActiveArea = m.RouterArea * float64(p.Routers)
+	// Global wire area: links * wires/link * length, via the WIRE cell's
+	// per-0.1mm footprint.
+	wireCells := float64(p.Links*p.LinkBits) * p.LinkLengthMM * 10
+	m.WireArea = wireCells * Default40nm[GWIRE].Area
+	m.TASPArea = t.Area()
+	m.AllTASPArea = m.TASPArea * float64(p.Links)
+	m.RouterDynUW = r.Dynamic(freqGHz)
+	m.TASPDynUW = t.Dynamic(freqGHz)
+	m.AllTASPDynUW = m.TASPDynUW * float64(p.Links)
+	m.NoCDynUW = m.RouterDynUW*float64(p.Routers) + m.AllTASPDynUW
+	return m
+}

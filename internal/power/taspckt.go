@@ -1,0 +1,147 @@
+package power
+
+import "fmt"
+
+// TASPVariant names the paper's six TASP target-selection variants (Table I,
+// Figure 9). The attached width is the number of codeword wires the target
+// comparator taps.
+type TASPVariant string
+
+// The six variants evaluated in the paper with their comparator widths.
+const (
+	TASPFull    TASPVariant = "Full"     // vc+src+dest+mem, 42 bits
+	TASPDest    TASPVariant = "Dest"     // destination router, 4 bits
+	TASPSrc     TASPVariant = "Src"      // source router, 4 bits
+	TASPDestSrc TASPVariant = "Dest_Src" // both routers, 8 bits
+	TASPMem     TASPVariant = "Mem"      // memory address, 32 bits
+	TASPVC      TASPVariant = "VC"       // virtual channel, 2 bits
+)
+
+// TASPVariants lists the variants in the paper's Table I column order.
+var TASPVariants = []TASPVariant{TASPFull, TASPDest, TASPSrc, TASPDestSrc, TASPMem, TASPVC}
+
+// Width returns the comparator width of the variant (Section V-A).
+func (v TASPVariant) Width() int {
+	switch v {
+	case TASPFull:
+		return 42
+	case TASPDest, TASPSrc:
+		return 4
+	case TASPDestSrc:
+		return 8
+	case TASPMem:
+		return 32
+	case TASPVC:
+		return 2
+	default:
+		panic(fmt.Sprintf("power: unknown TASP variant %q", v))
+	}
+}
+
+// PayloadCounterBits is the paper's Y-bit payload-counter width used by the
+// reference TASP implementation (design-time trade-off, Section III-B).
+const PayloadCounterBits = 8
+
+// BuildTASP constructs the gate-level model of one TASP hardware trojan
+// (Figure 3): target comparator, Y-bit payload counter, payload-state FSM,
+// the 2-bit XOR fault-injection stage and the kill-switch gating.
+//
+// Activity factors encode the trojan's stealth behaviour: the comparator
+// snoops every traversing flit (high activity, except the Mem variant whose
+// wide compare is gated behind a narrow pre-match), while the counter and
+// FSM hold state between injections (low activity) precisely "to prevent the
+// HT from consuming more power and cycling states when the target is
+// absent".
+func BuildTASP(v TASPVariant) *Block {
+	b := NewBlock("TASP-"+string(v), 0)
+
+	w := v.Width()
+	cmpAct := 0.5
+	if v == TASPMem {
+		// Wide memory compare is clock-gated behind a 4-bit pre-match.
+		pre := EqComparator("prematch", 4, 0.5)
+		b.AddSub(pre)
+		cmpAct = 0.06
+	}
+	b.AddSub(EqComparator("target", w, cmpAct))
+
+	// Y-bit payload counter: holds its state until the next injection.
+	b.AddSub(Counter("payload-counter", PayloadCounterBits, 0.08))
+
+	// Idle/Active/Attacking FSM (Figure 3): 2 state bits plus next-state and
+	// payload-state-select logic.
+	fsm := NewBlock("fsm", 0.10)
+	fsm.Add(DFF, 2).Add(NAND2, 8).Add(INV, 4)
+	fsm.DepthPS = 3 * Default40nm[NAND2].DelayPS
+	b.AddSub(fsm)
+
+	// Payload decode: steers the two flip enables from the counter state.
+	b.AddSub(MuxTree("payload-decode", 2, 2, 0.1))
+
+	// The injection stage: XOR gates on the two targeted wires plus the
+	// kill-switch AND gating.
+	inj := XorStage("inject", 2, 0.05)
+	inj.Add(AND2, 2)
+	b.AddSub(inj)
+
+	// Clock distribution for the trojan's ~12 flip-flops.
+	b.AddSub(ClockTree("clock", CountFFs(b)))
+	return b
+}
+
+// BuildThreatDetector constructs the gate-level model of the per-router
+// threat source detector (Figure 6): a small history table recording the
+// syndrome and packet characteristics of recent faults, match logic, and the
+// decision FSM that drives retransmission, BIST and L-Ob escalation.
+func BuildThreatDetector() *Block {
+	b := NewBlock("threat-detector", 0)
+
+	// Fault-history table: 6 entries x 48 bits (syndrome 7b + src/dst/vc/seq
+	// 18b + mem tag 16b + method/state 7b). Scanned on every received flit,
+	// hence the high activity: the paper's mitigation costs more in power
+	// (6%) than area (2%) because this table never sleeps.
+	tbl := NewBlock("history-table", 0.45)
+	tbl.Add(SRAMBIT, 4*48)
+	tbl.Add(DFF, 6) // victim/way pointers
+	b.AddSub(tbl)
+
+	// Match logic across the table entries.
+	b.AddSub(EqComparator("match", 48, 0.5))
+
+	// Decision FSM (Figure 6 flow) + upstream notification encode.
+	fsm := NewBlock("decision-fsm", 0.25)
+	fsm.Add(DFF, 6).Add(NAND2, 30).Add(INV, 10).Add(OR2, 8)
+	fsm.DepthPS = 4 * Default40nm[NAND2].DelayPS
+	b.AddSub(fsm)
+
+	b.AddSub(ClockTree("clock", CountFFs(b)))
+	return b
+}
+
+// BuildLOb constructs the gate-level model of the L-Ob switch-to-switch
+// obfuscation block (Figure 4): an LFSR keystream, a 72-bit XOR
+// scramble/invert stage, a shuffle (rotate) network, the method-selection
+// control and the per-flow method log.
+func BuildLOb() *Block {
+	b := NewBlock("l-ob", 0)
+
+	b.AddSub(LFSR("keystream", 8, 0.4))
+	b.AddSub(XorStage("scramble-invert", 72, 0.30))
+
+	// Shuffle network: a single-stage barrel rotator over 72 wires.
+	sh := NewBlock("shuffle", 0.30)
+	sh.Add(MUX2, 72)
+	sh.DepthPS = Default40nm[MUX2].DelayPS
+	b.AddSub(sh)
+
+	// Scramble-partner holding register (flit 2+4 pairing in Figure 7).
+	b.AddSub(FIFO("partner-buf", 1, 72, 0.2))
+
+	// Method-selection control and per-flow method log (8 flows x 6 bits).
+	ctl := NewBlock("method-ctl", 0.2)
+	ctl.Add(DFF, 4).Add(SRAMBIT, 8*6).Add(NAND2, 20).Add(INV, 8)
+	b.AddSub(ctl)
+
+	b.AddSub(ClockTree("clock", CountFFs(b)))
+	return b
+}

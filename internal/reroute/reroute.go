@@ -1,0 +1,148 @@
+// Package reroute is the fault-tolerant rerouting baseline the paper
+// compares L-Ob against in Figure 10 (labelled "Rerouting (Ariadne)"):
+// instead of continuing to use a compromised link under obfuscation, the
+// network disables it and recomputes routes around it, paying extra hops.
+//
+// Routes are built per destination with a breadth-first search over the
+// healthy directed links, preferring the XY-consistent port on ties so the
+// fault-free network reproduces plain XY routing exactly. Like Ariadne, the
+// reconfiguration is a full-table rebuild triggered by each newly disabled
+// link.
+package reroute
+
+import (
+	"fmt"
+
+	"tasp/internal/noc"
+)
+
+// Table is a fault-aware routing table: Port[r][d] is the output port
+// router r uses toward destination d.
+type Table struct {
+	cfg  noc.Config
+	Port [][]int
+	// Hops[r][d] is the path length from r to d, -1 when unreachable.
+	Hops [][]int
+}
+
+// portPreference orders ports for tie-breaking so that the healthy-network
+// table degenerates to XY routing (x-dimension first).
+var portPreference = []int{noc.PortEast, noc.PortWest, noc.PortNorth, noc.PortSouth}
+
+// Build computes a table for the mesh avoiding the given disabled directed
+// links (by link id).
+func Build(cfg noc.Config, links []noc.LinkInfo, disabled map[int]bool) (*Table, error) {
+	R := cfg.Routers()
+	// adj[r][port] = neighbor router over a healthy link, or -1.
+	adj := make([][]int, R)
+	for r := range adj {
+		adj[r] = []int{-1, -1, -1, -1, -1}
+	}
+	for _, l := range links {
+		if disabled[l.ID] {
+			continue
+		}
+		adj[l.From][l.FromPort] = l.To
+	}
+
+	t := &Table{cfg: cfg, Port: make([][]int, R), Hops: make([][]int, R)}
+	for r := range t.Port {
+		t.Port[r] = make([]int, R)
+		t.Hops[r] = make([]int, R)
+	}
+
+	// One reverse BFS per destination over directed healthy links.
+	for d := 0; d < R; d++ {
+		dist := make([]int, R)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[d] = 0
+		queue := []int{d}
+		// Reverse adjacency: who can reach "cur" in one hop?
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for from := 0; from < R; from++ {
+				if dist[from] != -1 {
+					continue
+				}
+				for _, p := range portPreference {
+					if adj[from][p] == cur {
+						dist[from] = dist[cur] + 1
+						queue = append(queue, from)
+						break
+					}
+				}
+			}
+		}
+		for r := 0; r < R; r++ {
+			t.Hops[r][d] = dist[r]
+			if r == d {
+				t.Port[r][d] = noc.PortLocal
+				continue
+			}
+			if dist[r] == -1 {
+				return nil, fmt.Errorf("reroute: router %d cannot reach %d with the given faults", r, d)
+			}
+			// Choose the preferred healthy neighbour strictly closer to d.
+			t.Port[r][d] = -1
+			for _, p := range portPreference {
+				nb := adj[r][p]
+				if nb >= 0 && dist[nb] == dist[r]-1 {
+					t.Port[r][d] = p
+					break
+				}
+			}
+			if t.Port[r][d] == -1 {
+				return nil, fmt.Errorf("reroute: no forwarding port at %d toward %d", r, d)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Route returns the table as a noc.RouteFunc.
+func (t *Table) Route() noc.RouteFunc {
+	return func(router, dst int) int { return t.Port[router][dst] }
+}
+
+// ExtraHops returns the total additional hops the table pays relative to
+// Manhattan distance, summed over all pairs — the rerouting cost metric of
+// Figure 2's permanent-fault panel.
+func (t *Table) ExtraHops() int {
+	extra := 0
+	for r := range t.Hops {
+		rx, ry := t.cfg.XY(r)
+		for d, h := range t.Hops[r] {
+			dx, dy := t.cfg.XY(d)
+			man := abs(rx-dx) + abs(ry-dy)
+			if h > man {
+				extra += h - man
+			}
+		}
+	}
+	return extra
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Apply disables the links on the network and installs the rebuilt table.
+func Apply(n *noc.Network, disabled map[int]bool) (*Table, error) {
+	t, err := Build(n.Config(), n.Links(), disabled)
+	if err != nil {
+		return nil, err
+	}
+	for id := range disabled {
+		if !n.LinkDisabled(id) {
+			n.DisableLink(id)
+		}
+	}
+	n.SetRoute(t.Route())
+	return t, nil
+}

@@ -1,0 +1,161 @@
+package reroute
+
+import (
+	"testing"
+
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+)
+
+func net(t *testing.T) *noc.Network {
+	t.Helper()
+	n, err := noc.New(noc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func linkID(n *noc.Network, from, to int) int {
+	for _, l := range n.Links() {
+		if l.From == from && l.To == to {
+			return l.ID
+		}
+	}
+	return -1
+}
+
+func TestHealthyTableEqualsXY(t *testing.T) {
+	n := net(t)
+	tbl, err := Build(n.Config(), n.Links(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy := noc.XYRoute(n.Config())
+	for r := 0; r < 16; r++ {
+		for d := 0; d < 16; d++ {
+			if got, want := tbl.Port[r][d], xy(r, d); got != want {
+				t.Fatalf("route %d->%d: table %s, xy %s", r, d, noc.PortName(got), noc.PortName(want))
+			}
+		}
+	}
+	if tbl.ExtraHops() != 0 {
+		t.Fatalf("healthy table pays %d extra hops", tbl.ExtraHops())
+	}
+}
+
+func TestDetourAroundOneLink(t *testing.T) {
+	n := net(t)
+	disabled := map[int]bool{linkID(n, 0, 1): true}
+	tbl, err := Build(n.Config(), n.Links(), disabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 1 must avoid the dead link and pay exactly 2 extra hops.
+	if tbl.Port[0][1] == noc.PortEast {
+		t.Fatal("route still uses the disabled link")
+	}
+	if tbl.Hops[0][1] != 3 {
+		t.Fatalf("0->1 detour length %d, want 3", tbl.Hops[0][1])
+	}
+	if tbl.ExtraHops() == 0 {
+		t.Fatal("no extra hops recorded for the detour")
+	}
+	// Reverse direction is untouched.
+	if tbl.Hops[1][0] != 1 {
+		t.Fatalf("1->0 should be direct, got %d hops", tbl.Hops[1][0])
+	}
+}
+
+func TestHopsMatchShortestPaths(t *testing.T) {
+	n := net(t)
+	disabled := map[int]bool{
+		linkID(n, 0, 1): true,
+		linkID(n, 5, 6): true,
+		linkID(n, 9, 8): true,
+	}
+	tbl, err := Build(n.Config(), n.Links(), disabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every routed next hop must strictly decrease the distance.
+	cfg := n.Config()
+	adj := map[[2]int]int{} // (router, port) -> neighbor
+	for _, l := range n.Links() {
+		if !disabled[l.ID] {
+			adj[[2]int{l.From, l.FromPort}] = l.To
+		}
+	}
+	for r := 0; r < cfg.Routers(); r++ {
+		for d := 0; d < cfg.Routers(); d++ {
+			if r == d {
+				continue
+			}
+			nb, ok := adj[[2]int{r, tbl.Port[r][d]}]
+			if !ok {
+				t.Fatalf("%d->%d routes into missing/disabled port", r, d)
+			}
+			if tbl.Hops[nb][d] != tbl.Hops[r][d]-1 {
+				t.Fatalf("%d->%d via %d does not shorten: %d -> %d",
+					r, d, nb, tbl.Hops[r][d], tbl.Hops[nb][d])
+			}
+		}
+	}
+}
+
+func TestDisconnectionRejected(t *testing.T) {
+	n := net(t)
+	// Cut both links into router 0 and both out: 0 is unreachable.
+	disabled := map[int]bool{
+		linkID(n, 1, 0): true,
+		linkID(n, 4, 0): true,
+	}
+	if _, err := Build(n.Config(), n.Links(), disabled); err == nil {
+		t.Fatal("disconnected destination accepted")
+	}
+}
+
+func TestApplyDeliversAroundFault(t *testing.T) {
+	n := net(t)
+	id := linkID(n, 0, 1)
+	if _, err := Apply(n, map[int]bool{id: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.LinkDisabled(id) {
+		t.Fatal("Apply did not disable the link")
+	}
+	p := &flit.Packet{Hdr: flit.Header{DstR: 1}}
+	if !n.Inject(0, p) {
+		t.Fatal("inject failed")
+	}
+	n.Run(300)
+	if n.Counters.DeliveredPackets != 1 {
+		t.Fatal("packet not delivered around the disabled link")
+	}
+}
+
+// TestRoutedTrafficAvoidsAllDisabled floods a rerouted network and checks
+// nothing is ever sent on the dead links.
+func TestRoutedTrafficAvoidsAllDisabled(t *testing.T) {
+	n := net(t)
+	dead := map[int]bool{
+		linkID(n, 0, 1):  true,
+		linkID(n, 6, 10): true,
+	}
+	if _, err := Apply(n, dead); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 64; core += 3 {
+		p := &flit.Packet{Hdr: flit.Header{VC: uint8(core % 4), DstR: uint8((core + 9) % 16)}}
+		n.Inject(core, p)
+	}
+	n.Run(2000)
+	for id := range dead {
+		if got := n.LinkOutput(id).FlitsSent; got != 0 {
+			t.Fatalf("disabled link %d carried %d flits", id, got)
+		}
+	}
+	if n.Counters.DeliveredPackets == 0 {
+		t.Fatal("nothing delivered on the rerouted network")
+	}
+}

@@ -1,0 +1,181 @@
+// Package routing provides the adaptive routing algorithms the paper
+// compares XY routing against under DoS load (Section III-A: "In a
+// flood-based DoS attack, x-y routing performs better than multiple
+// adaptive algorithms when the injection rate is less than 0.65").
+//
+// Each algorithm is a turn-model candidate generator: it returns the set of
+// minimal output ports a packet may take at a router such that the global
+// channel-dependency graph stays acyclic (Glass & Ni's turn models, plus
+// Chiu's odd-even rule). The simulator picks the least congested candidate
+// at route-computation time.
+package routing
+
+import "tasp/internal/noc"
+
+// delta returns the signed x and y displacement toward the destination.
+func delta(cfg noc.Config, router, dst int) (dx, dy int) {
+	cx, cy := cfg.XY(router)
+	tx, ty := cfg.XY(dst)
+	return tx - cx, ty - cy
+}
+
+// XY returns dimension-order routing as a (single-candidate) adaptive
+// function, for uniform comparisons.
+func XY(cfg noc.Config) noc.AdaptiveRouteFunc {
+	base := noc.XYRoute(cfg)
+	return func(router, dst int) []int {
+		return []int{base(router, dst)}
+	}
+}
+
+// WestFirst implements the west-first turn model: all westward hops happen
+// first; once a packet moves east/north/south it may never turn west again.
+// Minimal version: if the destination is west, the only candidate is west;
+// otherwise every productive non-west direction is a candidate.
+func WestFirst(cfg noc.Config) noc.AdaptiveRouteFunc {
+	return func(router, dst int) []int {
+		dx, dy := delta(cfg, router, dst)
+		if dx == 0 && dy == 0 {
+			return []int{noc.PortLocal}
+		}
+		if dx < 0 {
+			return []int{noc.PortWest}
+		}
+		var c []int
+		if dx > 0 {
+			c = append(c, noc.PortEast)
+		}
+		if dy > 0 {
+			c = append(c, noc.PortNorth)
+		}
+		if dy < 0 {
+			c = append(c, noc.PortSouth)
+		}
+		return c
+	}
+}
+
+// NorthLast implements the north-last turn model: a packet may turn into
+// the north direction only when north is the sole remaining productive
+// move (no turns out of north are ever needed).
+func NorthLast(cfg noc.Config) noc.AdaptiveRouteFunc {
+	return func(router, dst int) []int {
+		dx, dy := delta(cfg, router, dst)
+		if dx == 0 && dy == 0 {
+			return []int{noc.PortLocal}
+		}
+		var c []int
+		if dx > 0 {
+			c = append(c, noc.PortEast)
+		}
+		if dx < 0 {
+			c = append(c, noc.PortWest)
+		}
+		if dy < 0 {
+			c = append(c, noc.PortSouth)
+		}
+		if len(c) == 0 {
+			return []int{noc.PortNorth} // north only as the last resort
+		}
+		return c
+	}
+}
+
+// NegativeFirst implements the negative-first turn model: all hops in the
+// negative directions (west, south) happen before any positive hop.
+func NegativeFirst(cfg noc.Config) noc.AdaptiveRouteFunc {
+	return func(router, dst int) []int {
+		dx, dy := delta(cfg, router, dst)
+		if dx == 0 && dy == 0 {
+			return []int{noc.PortLocal}
+		}
+		var neg []int
+		if dx < 0 {
+			neg = append(neg, noc.PortWest)
+		}
+		if dy < 0 {
+			neg = append(neg, noc.PortSouth)
+		}
+		if len(neg) > 0 {
+			return neg
+		}
+		var pos []int
+		if dx > 0 {
+			pos = append(pos, noc.PortEast)
+		}
+		if dy > 0 {
+			pos = append(pos, noc.PortNorth)
+		}
+		return pos
+	}
+}
+
+// OddEven implements Chiu's odd-even turn model (minimal version): in even
+// columns packets may not turn from east to north/south; in odd columns
+// they may not turn from north/south to west. The resulting rule set below
+// is the standard minimal formulation.
+func OddEven(cfg noc.Config) noc.AdaptiveRouteFunc {
+	return func(router, dst int) []int {
+		cx, cy := cfg.XY(router)
+		tx, ty := cfg.XY(dst)
+		dx, dy := tx-cx, ty-cy
+		if dx == 0 && dy == 0 {
+			return []int{noc.PortLocal}
+		}
+		var c []int
+		if dx == 0 { // same column: go vertically
+			if dy > 0 {
+				return []int{noc.PortNorth}
+			}
+			return []int{noc.PortSouth}
+		}
+		if dx > 0 { // eastbound
+			if dy == 0 {
+				return []int{noc.PortEast}
+			}
+			// EN/ES turns are allowed only in odd columns.
+			if cx%2 == 1 {
+				if dy > 0 {
+					c = append(c, noc.PortNorth)
+				} else {
+					c = append(c, noc.PortSouth)
+				}
+			}
+			// Continuing east is safe unless the next column is the (even)
+			// destination column, where the vertical turn would be
+			// forbidden — then the turn must happen here.
+			if dx > 1 || tx%2 == 1 {
+				c = append(c, noc.PortEast)
+			}
+			if len(c) == 0 {
+				// Trapped only if cx is even and tx=cx+1 is even, which
+				// cannot happen (adjacent columns differ in parity); kept
+				// as a defensive fallback.
+				c = append(c, noc.PortEast)
+			}
+			return c
+		}
+		// Westbound: NW/SW turns are forbidden in odd columns, so vertical
+		// movement must finish in even columns.
+		if dy != 0 && cx%2 == 0 {
+			if dy > 0 {
+				c = append(c, noc.PortNorth)
+			} else {
+				c = append(c, noc.PortSouth)
+			}
+		}
+		c = append(c, noc.PortWest)
+		return c
+	}
+}
+
+// Algorithms lists the available adaptive algorithms by name.
+func Algorithms(cfg noc.Config) map[string]noc.AdaptiveRouteFunc {
+	return map[string]noc.AdaptiveRouteFunc{
+		"xy":             XY(cfg),
+		"west-first":     WestFirst(cfg),
+		"north-last":     NorthLast(cfg),
+		"negative-first": NegativeFirst(cfg),
+		"odd-even":       OddEven(cfg),
+	}
+}

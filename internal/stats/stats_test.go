@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Percentile(99) != 0 {
+		t.Fatalf("empty histogram misbehaves: %s", h)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 22 {
+		t.Fatalf("mean %g", h.Mean())
+	}
+	if h.Max() != 100 || h.Min() != 1 {
+		t.Fatalf("min/max %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Bucketed percentile is an upper bound within a factor of two.
+	p50 := h.Percentile(50)
+	if p50 < 500 || p50 > 1023 {
+		t.Fatalf("p50 bound %d", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 990 || p99 > 2047 {
+		t.Fatalf("p99 bound %d", p99)
+	}
+	if h.Percentile(100) < 1000 {
+		t.Fatalf("p100 %d below max", h.Percentile(100))
+	}
+}
+
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		prev := uint64(0)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(10)
+	b.Observe(1000)
+	b.Observe(2)
+	a.Merge(b)
+	if a.Count() != 3 || a.Max() != 1000 || a.Min() != 2 {
+		t.Fatalf("merge broken: %s", a)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("string: %s", h)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample: %g", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("after second: %g", e.Value())
+	}
+	// Converges toward a constant input.
+	for i := 0; i < 50; i++ {
+		e.Observe(100)
+	}
+	if math.Abs(e.Value()-100) > 1e-6 {
+		t.Fatalf("no convergence: %g", e.Value())
+	}
+}
+
+func TestEWMADefaultAlpha(t *testing.T) {
+	e := EWMA{} // invalid alpha falls back to 0.1
+	e.Observe(0)
+	e.Observe(10)
+	if e.Value() != 1 {
+		t.Fatalf("default alpha: %g", e.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := uint64(0); i < 10; i++ {
+		s.Add(i*10, float64(i*i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len %d", s.Len())
+	}
+	cyc, v := s.Max()
+	if cyc != 90 || v != 81 {
+		t.Fatalf("max (%d, %g)", cyc, v)
+	}
+	if m := s.MeanAfter(70); m != (49+64+81)/3.0 {
+		t.Fatalf("mean after: %g", m)
+	}
+	if c, ok := s.FirstAbove(25); !ok || c != 50 {
+		t.Fatalf("first above: %d %v", c, ok)
+	}
+	if _, ok := s.FirstAbove(1e9); ok {
+		t.Fatal("impossible threshold crossed")
+	}
+	if sp := s.Spark(5); len(sp) != 5 {
+		t.Fatalf("spark %q", sp)
+	}
+	var empty Series
+	if empty.Spark(10) != "" || empty.MeanAfter(0) != 0 {
+		t.Fatal("empty series misbehaves")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	qs := Quantiles([]float64{5, 1, 3, 2, 4}, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("quantiles %v", qs)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatal("empty quantiles")
+	}
+}

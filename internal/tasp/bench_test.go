@@ -1,0 +1,42 @@
+package tasp
+
+import (
+	"testing"
+
+	"tasp/internal/ecc"
+	"tasp/internal/fault"
+	"tasp/internal/flit"
+)
+
+func BenchmarkInspectMiss(b *testing.B) {
+	ht := New(ForDest(9), DefaultPayloadBits)
+	ht.SetKillSwitch(true)
+	cw := ecc.Encode(flit.Header{Kind: flit.Single, DstR: 5}.Encode())
+	fr := fault.Framing{Head: true, Tail: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Inspect(uint64(i), cw, fr)
+	}
+}
+
+func BenchmarkInspectStrike(b *testing.B) {
+	ht := New(ForDest(9), DefaultPayloadBits)
+	ht.SetKillSwitch(true)
+	cw := ecc.Encode(flit.Header{Kind: flit.Single, DstR: 9}.Encode())
+	fr := fault.Framing{Head: true, Tail: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Inspect(uint64(i), cw, fr)
+	}
+}
+
+func BenchmarkInspectFullTarget(b *testing.B) {
+	ht := New(ForFull(3, 9, 1, 0x09000000, 0xff000000), DefaultPayloadBits)
+	ht.SetKillSwitch(true)
+	cw := ecc.Encode(flit.Header{Kind: flit.Single, VC: 1, SrcR: 3, DstR: 9, Mem: 0x09001234}.Encode())
+	fr := fault.Framing{Head: true, Tail: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Inspect(uint64(i), cw, fr)
+	}
+}

@@ -1,0 +1,373 @@
+// Package traffic provides the workload models that stand in for the
+// paper's PARSEC and SPLASH-2 traffic traces. Real traces are not
+// redistributable, so each benchmark is modelled statistically from the
+// paper's own characterisation (Section III-A, Figure 1): traffic localises
+// around one or two primary routers, the load an application induces
+// "diminishes as the distance from the main core increases", and a
+// considerable share of traffic crosses links a few hops from the primary.
+// The models reproduce exactly those shapes, which is all the attack and
+// mitigation results depend on.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+	"tasp/internal/xrand"
+)
+
+// Model is a statistical traffic model over a concentrated mesh: a
+// row-normalised source-router x destination-router weight matrix plus
+// per-source injection intensities.
+type Model struct {
+	Name string
+	// Rate is the mean packets per core per cycle, before the per-source
+	// intensity shaping.
+	Rate float64
+	// Matrix[s][d] is the probability a packet from router s targets
+	// router d (rows sum to 1).
+	Matrix [][]float64
+	// Intensity[s] scales each source router's injection rate (mean 1).
+	Intensity []float64
+	// DataFraction is the share of packets that are 5-flit data packets;
+	// the rest are single-flit requests.
+	DataFraction float64
+	// Primary is the router the workload concentrates around.
+	Primary int
+
+	cfg noc.Config
+}
+
+// benchmarks maps names to model parameters: the primary router(s), the
+// spatial decay per hop, the injection rate, the data-packet share, and an
+// optional transpose component (FFT's butterfly exchanges).
+var benchmarks = map[string]struct {
+	primaries []int
+	decay     float64
+	rate      float64
+	dataFrac  float64
+	transpose float64 // 0..1 blend of transpose permutation traffic
+	uniform   float64 // 0..1 blend of uniform background traffic
+}{
+	// PARSEC
+	"blackscholes": {primaries: []int{0}, decay: 0.85, rate: 0.045, dataFrac: 0.35, uniform: 0.05},
+	"facesim":      {primaries: []int{5}, decay: 0.55, rate: 0.060, dataFrac: 0.45, uniform: 0.10},
+	"ferret":       {primaries: []int{2, 13}, decay: 0.60, rate: 0.060, dataFrac: 0.40, uniform: 0.10},
+	"canneal":      {primaries: []int{6}, decay: 0.35, rate: 0.055, dataFrac: 0.50, uniform: 0.20},
+	"dedup":        {primaries: []int{1, 14}, decay: 0.55, rate: 0.055, dataFrac: 0.55, uniform: 0.10},
+	"swaptions":    {primaries: []int{0}, decay: 0.90, rate: 0.045, dataFrac: 0.30, uniform: 0.05},
+	"vips":         {primaries: []int{9}, decay: 0.45, rate: 0.055, dataFrac: 0.45, uniform: 0.15},
+	// SPLASH-2
+	"fft":    {primaries: []int{0}, decay: 0.25, rate: 0.065, dataFrac: 0.50, transpose: 0.45, uniform: 0.10},
+	"radix":  {primaries: []int{0}, decay: 0.30, rate: 0.060, dataFrac: 0.50, transpose: 0.30, uniform: 0.15},
+	"barnes": {primaries: []int{10}, decay: 0.40, rate: 0.055, dataFrac: 0.45, uniform: 0.15},
+	"ocean":  {primaries: []int{5, 10}, decay: 0.35, rate: 0.060, dataFrac: 0.55, uniform: 0.10},
+	"water":  {primaries: []int{4}, decay: 0.50, rate: 0.050, dataFrac: 0.40, uniform: 0.10},
+}
+
+// Benchmarks returns the available benchmark names, sorted.
+func Benchmarks() []string {
+	names := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// hops returns the XY hop distance between two routers.
+func hops(cfg noc.Config, a, b int) int {
+	ax, ay := cfg.XY(a)
+	bx, by := cfg.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Benchmark constructs the named benchmark model for the given mesh.
+func Benchmark(name string, cfg noc.Config) (*Model, error) {
+	p, ok := benchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown benchmark %q (have %v)", name, Benchmarks())
+	}
+	R := cfg.Routers()
+	m := &Model{
+		Name:         name,
+		Rate:         p.rate,
+		DataFraction: p.dataFrac,
+		Primary:      p.primaries[0],
+		Matrix:       make([][]float64, R),
+		Intensity:    make([]float64, R),
+		cfg:          cfg,
+	}
+	// Proximity of a router to the nearest primary, decayed per hop.
+	prox := func(r int) float64 {
+		best := math.Inf(1)
+		for _, pr := range p.primaries {
+			if d := float64(hops(cfg, r, pr)); d < best {
+				best = d
+			}
+		}
+		return math.Exp(-p.decay * best)
+	}
+	for s := 0; s < R; s++ {
+		row := make([]float64, R)
+		sum := 0.0
+		for d := 0; d < R; d++ {
+			if d == s {
+				continue
+			}
+			// Gravity component: both endpoints near a primary.
+			w := prox(s) * prox(d) * (1 - p.transpose - p.uniform)
+			// Transpose component (butterfly-style exchanges).
+			if p.transpose > 0 && d == transposeOf(cfg, s) {
+				w += p.transpose
+			}
+			// Uniform background.
+			w += p.uniform / float64(R-1)
+			row[d] = w
+			sum += w
+		}
+		for d := range row {
+			row[d] /= sum
+		}
+		m.Matrix[s] = row
+		m.Intensity[s] = prox(s)
+	}
+	// Normalise intensities to mean 1 so Rate keeps its meaning, then clamp
+	// the spread: real traces concentrate sources near the primary core but
+	// no core sustains more than a few times the average injection rate.
+	normalise := func() {
+		mean := 0.0
+		for _, v := range m.Intensity {
+			mean += v
+		}
+		mean /= float64(R)
+		for i := range m.Intensity {
+			m.Intensity[i] /= mean
+		}
+	}
+	normalise()
+	for i, v := range m.Intensity {
+		if v > 3.0 {
+			m.Intensity[i] = 3.0
+		}
+		if v < 0.25 {
+			m.Intensity[i] = 0.25
+		}
+	}
+	normalise()
+	return m, nil
+}
+
+// transposeOf maps router (x, y) to (y, x) on a square mesh, or reflects on
+// rectangular meshes.
+func transposeOf(cfg noc.Config, r int) int {
+	x, y := cfg.XY(r)
+	tx, ty := y%cfg.Width, x%cfg.Height
+	return cfg.RouterAt(tx, ty)
+}
+
+// Uniform returns a uniform-random model at the given packet rate.
+func Uniform(cfg noc.Config, rate float64) *Model {
+	R := cfg.Routers()
+	m := &Model{Name: "uniform", Rate: rate, DataFraction: 0.4, Matrix: make([][]float64, R), Intensity: make([]float64, R), cfg: cfg}
+	for s := 0; s < R; s++ {
+		row := make([]float64, R)
+		for d := 0; d < R; d++ {
+			if d != s {
+				row[d] = 1 / float64(R-1)
+			}
+		}
+		m.Matrix[s] = row
+		m.Intensity[s] = 1
+	}
+	return m
+}
+
+// Hotspot returns a model where frac of all traffic targets the hotspot
+// router and the rest is uniform.
+func Hotspot(cfg noc.Config, rate float64, hotspot int, frac float64) *Model {
+	m := Uniform(cfg, rate)
+	m.Name = "hotspot"
+	m.Primary = hotspot
+	for s := range m.Matrix {
+		row := m.Matrix[s]
+		sum := 0.0
+		for d := range row {
+			if d == hotspot && d != s {
+				row[d] = frac + (1-frac)*row[d]
+			} else {
+				row[d] *= 1 - frac
+			}
+			sum += row[d]
+		}
+		for d := range row {
+			row[d] /= sum
+		}
+	}
+	return m
+}
+
+// Transpose returns the classic transpose permutation workload.
+func Transpose(cfg noc.Config, rate float64) *Model {
+	R := cfg.Routers()
+	m := &Model{Name: "transpose", Rate: rate, DataFraction: 0.4, Matrix: make([][]float64, R), Intensity: make([]float64, R), cfg: cfg}
+	for s := 0; s < R; s++ {
+		row := make([]float64, R)
+		d := transposeOf(cfg, s)
+		if d == s {
+			d = (s + R/2) % R
+		}
+		row[d] = 1
+		m.Matrix[s] = row
+		m.Intensity[s] = 1
+	}
+	return m
+}
+
+// Generator draws packets from a model, deterministically from a seed.
+type Generator struct {
+	m   *Model
+	rng *xrand.RNG
+	seq []uint8 // per-core packet sequence numbers
+}
+
+// Generator returns a new deterministic packet source for the model.
+func (m *Model) Generator(seed uint64) *Generator {
+	return &Generator{m: m, rng: xrand.New(seed), seq: make([]uint8, m.cfg.Cores())}
+}
+
+// Tick rolls injection for every core for one cycle and calls inject for
+// each generated packet. inject reports acceptance; rejected packets are
+// simply dropped by the generator (the source is stalled, which the
+// injection-queue occupancy statistics already capture).
+func (g *Generator) Tick(inject func(core int, p *flit.Packet) bool) {
+	cfg := g.m.cfg
+	for core := 0; core < cfg.Cores(); core++ {
+		r := cfg.CoreRouter(core)
+		if !g.rng.Bool(g.m.Rate * g.m.Intensity[r]) {
+			continue
+		}
+		inject(core, g.Packet(core))
+	}
+}
+
+// Packet draws one packet originating at the given core.
+func (g *Generator) Packet(core int) *flit.Packet {
+	cfg := g.m.cfg
+	src := cfg.CoreRouter(core)
+	dst := g.sampleDst(src)
+	g.seq[core]++
+	p := &flit.Packet{
+		Hdr: flit.Header{
+			VC:   uint8(g.rng.Intn(cfg.VCs)),
+			DstR: uint8(dst),
+			DstC: uint8(g.rng.Intn(cfg.Concentration)),
+			// Addresses are laid out per destination router so memory-
+			// address trojan targets correspond to network regions.
+			Mem: uint32(dst)<<24 | uint32(g.rng.Intn(1<<20)),
+			Seq: g.seq[core],
+		},
+	}
+	if g.rng.Bool(g.m.DataFraction) {
+		p.Body = make([]uint64, 4) // 5-flit data packet
+		for i := range p.Body {
+			p.Body[i] = g.rng.Uint64()
+		}
+	}
+	return p
+}
+
+// sampleDst draws a destination router from the model's matrix row.
+func (g *Generator) sampleDst(src int) int {
+	x := g.rng.Float64()
+	row := g.m.Matrix[src]
+	acc := 0.0
+	for d, w := range row {
+		acc += w
+		if x < acc {
+			return d
+		}
+	}
+	// Floating-point slack: return the last nonzero entry.
+	for d := len(row) - 1; d >= 0; d-- {
+		if row[d] > 0 {
+			return d
+		}
+	}
+	return (src + 1) % len(row)
+}
+
+// LinkLoads computes the analytic per-link traffic shares of a model under
+// XY routing (the quantity in Figure 1(c)). The return maps each directed
+// link (keyed by "from->to") to its share of total link traversals.
+func LinkLoads(m *Model, cfg noc.Config) map[string]float64 {
+	return LinkLoadsWhere(m, cfg, nil)
+}
+
+// LinkLoadsWhere computes per-link traffic shares restricted to flows for
+// which keep(src, dst) is true (nil keeps all). The attacker's link-
+// selection analysis (Section III-A) uses this to place trojans on the
+// links its *target* flows actually cross.
+func LinkLoadsWhere(m *Model, cfg noc.Config, keep func(src, dst int) bool) map[string]float64 {
+	loads := map[string]float64{}
+	total := 0.0
+	route := noc.XYRoute(cfg)
+	for s := 0; s < cfg.Routers(); s++ {
+		for d := 0; d < cfg.Routers(); d++ {
+			w := m.Matrix[s][d] * m.Intensity[s]
+			if w == 0 || s == d || (keep != nil && !keep(s, d)) {
+				continue
+			}
+			cur := s
+			for cur != d {
+				port := route(cur, d)
+				next := neighbor(cfg, cur, port)
+				key := fmt.Sprintf("%d->%d", cur, next)
+				loads[key] += w
+				total += w
+				cur = next
+			}
+		}
+	}
+	for k := range loads {
+		loads[k] /= total
+	}
+	return loads
+}
+
+// neighbor returns the router on the other end of a port.
+func neighbor(cfg noc.Config, r, port int) int {
+	x, y := cfg.XY(r)
+	switch port {
+	case noc.PortEast:
+		return cfg.RouterAt(x+1, y)
+	case noc.PortWest:
+		return cfg.RouterAt(x-1, y)
+	case noc.PortNorth:
+		return cfg.RouterAt(x, y+1)
+	case noc.PortSouth:
+		return cfg.RouterAt(x, y-1)
+	default:
+		return r
+	}
+}
+
+// RouterTotals returns per-router outbound packet weight (Figure 1(b)'s
+// geographic source hot spots).
+func RouterTotals(m *Model) []float64 {
+	out := make([]float64, len(m.Matrix))
+	for s := range m.Matrix {
+		out[s] = m.Intensity[s]
+	}
+	return out
+}

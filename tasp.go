@@ -1,0 +1,85 @@
+// Package tasp is a from-scratch reproduction of "Mitigation of Denial of
+// Service Attack with Hardware Trojans in NoC Architectures" (Boraten and
+// Kodi, IPDPS 2016): a cycle-accurate 64-core mesh NoC, the TASP
+// target-activated sequential-payload hardware trojan, the heuristic threat
+// detector, the L-Ob switch-to-switch obfuscation block, the paper's three
+// baselines (e2e obfuscation, TDM QoS, rerouting) and a gate-level
+// area/power/timing model standing in for the Synopsys/TSMC 40 nm flow.
+//
+// This root package is the stable public API: configure a simulation with
+// Config, an attack with AttackConfig, pick a Mitigation, and Run. The
+// per-figure experiment harnesses live in internal/exp and are exposed
+// through the cmd tools and the root benchmark suite.
+//
+//	cfg := tasp.DefaultConfig()
+//	cfg.Mitigation = tasp.S2SLOb
+//	res, err := tasp.Run(cfg)
+package tasp
+
+import (
+	"tasp/internal/core"
+	"tasp/internal/noc"
+	taspht "tasp/internal/tasp"
+	"tasp/internal/traffic"
+)
+
+// Config describes one full simulation run: the mesh, the workload, the
+// attack and the mitigation. See core.ExperimentConfig for field docs.
+type Config = core.ExperimentConfig
+
+// AttackConfig describes the TASP deployment of a run.
+type AttackConfig = core.AttackConfig
+
+// Results aggregates a run's counters, time series and telemetry.
+type Results = core.Results
+
+// Sample is one occupancy time-series point.
+type Sample = core.Sample
+
+// Mitigation selects the installed defence.
+type Mitigation = core.Mitigation
+
+// The available mitigations.
+const (
+	NoMitigation   = core.NoMitigation
+	S2SLOb         = core.S2SLOb
+	E2EObfuscation = core.E2EObfuscation
+	TDMQoS         = core.TDMQoS
+	Rerouting      = core.Rerouting
+)
+
+// Target programs the trojan's comparator.
+type Target = taspht.Target
+
+// TargetKind selects which header fields the comparator taps.
+type TargetKind = taspht.TargetKind
+
+// Target constructors (Table I's variants).
+var (
+	ForDest    = taspht.ForDest
+	ForSrc     = taspht.ForSrc
+	ForDestSrc = taspht.ForDestSrc
+	ForVC      = taspht.ForVC
+	ForVCRange = taspht.ForVCRange
+	ForMem     = taspht.ForMem
+	ForFull    = taspht.ForFull
+)
+
+// NoCConfig describes the simulated mesh micro-architecture.
+type NoCConfig = noc.Config
+
+// DefaultNoCConfig returns the paper's platform: a 4x4 mesh with 4 cores
+// per router, 4 VCs, 4x64-bit buffers and post-crossbar retransmission
+// buffers.
+func DefaultNoCConfig() NoCConfig { return noc.DefaultConfig() }
+
+// DefaultConfig returns the paper's standard experiment protocol
+// (Blackscholes traces, 1500-cycle warm-up, a TASP attack point around the
+// primary router, no mitigation).
+func DefaultConfig() Config { return core.DefaultExperiment() }
+
+// Run executes one experiment.
+func Run(cfg Config) (*Results, error) { return core.Run(cfg) }
+
+// Benchmarks lists the available PARSEC/SPLASH-2 workload models.
+func Benchmarks() []string { return traffic.Benchmarks() }
