@@ -1,8 +1,9 @@
 # Convenience targets for the TASP-NoC reproduction.
 
 GO ?= go
+DATE ?= $(shell date +%F)
 
-.PHONY: all build vet test bench experiments examples cover clean
+.PHONY: all build vet test race bench bench-json experiments examples cover clean
 
 all: build vet test
 
@@ -15,12 +16,24 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detect the concurrent pieces: the simulator core (one network per
+# goroutine) and the parallel experiment engine.
+race:
+	$(GO) test -race ./internal/noc ./internal/exp
+
 # Regenerate the paper's tables/figures and extension studies.
 experiments:
 	$(GO) run ./cmd/experiments -exp all
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx ./...
+
+# Snapshot the simulator hot-path benchmarks as machine-readable JSON
+# (BENCH_<date>.json) so the perf trajectory is tracked across PRs.
+bench-json:
+	$(GO) test -bench=NetworkStep -benchmem -run xxx ./internal/noc \
+		| $(GO) run ./cmd/benchjson -label "Network.Step hot path" > BENCH_$(DATE).json
+	@cat BENCH_$(DATE).json
 
 examples:
 	$(GO) run ./examples/quickstart

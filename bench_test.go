@@ -15,6 +15,28 @@ import (
 	"tasp/internal/power"
 )
 
+// BenchmarkExperiments runs the whole registry through the parallel
+// experiment engine — the same path as `cmd/experiments -exp all`. The
+// serial/parallel pair measures the fan-out speedup on the host (identical
+// output is asserted by internal/exp's determinism test).
+func BenchmarkExperiments(b *testing.B) {
+	registry := exp.Registry("blackscholes")
+	bench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := exp.RunAll(registry, 1, workers)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.ID, r.Err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	b.Run("parallel", bench(exp.DefaultWorkers()))
+}
+
 // BenchmarkFigure1 regenerates the Blackscholes traffic distributions.
 func BenchmarkFigure1(b *testing.B) {
 	var hottest float64

@@ -1,143 +1,56 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section. Run with -exp all (default) to print the whole set,
 // or pick one of: fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1,
-// table2, headline.
+// table2, headline, ablations, detectability, migration, closedloop,
+// saturation.
+//
+// Experiments are independent and deterministically seeded, so -exp all
+// fans them out across -parallel worker goroutines (default: one per CPU)
+// while printing results in the canonical order — the output is
+// byte-identical to -parallel=1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"tasp/internal/exp"
-	"tasp/internal/noc"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		which = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, all)")
-		bench = flag.String("bench", "blackscholes", "benchmark for fig1")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, all)")
+		bench    = flag.String("bench", "blackscholes", "benchmark for fig1")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", exp.DefaultWorkers(), "worker goroutines for -exp all (1 = serial)")
 	)
 	flag.Parse()
 
-	run := map[string]func(){
-		"fig1": func() {
-			f, err := exp.RunFigure1(*bench, noc.DefaultConfig())
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(f.MatrixTable().Render())
-			fmt.Println(f.HotspotTable(noc.DefaultConfig()).Render())
-			fmt.Println(f.LinkTable().Render())
-		},
-		"fig2": func() {
-			fmt.Println(exp.RunFigure2().TableOf().Render())
-		},
-		"fig8": func() {
-			for _, t := range exp.RunFigure8() {
-				fmt.Println(t.Render())
-			}
-		},
-		"fig9": func() {
-			fmt.Println(exp.RunFigure9().Render())
-		},
-		"table1": func() {
-			fmt.Println(exp.RunTableI().Render())
-		},
-		"table2": func() {
-			fmt.Println(exp.RunTableII().Render())
-		},
-		"fig10": func() {
-			pts, err := exp.RunFigure10(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(exp.Figure10Table(pts).Render())
-		},
-		"fig11": func() {
-			f, err := exp.RunFigure11(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			for _, t := range f.Tables() {
-				fmt.Println(t.Render())
-			}
-		},
-		"fig12": func() {
-			f, err := exp.RunFigure12(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			for _, t := range f.Tables() {
-				fmt.Println(t.Render())
-			}
-		},
-		"headline": func() {
-			t, err := exp.Headline(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(t.Render())
-		},
-		"detectability": func() {
-			fmt.Println(exp.DetectabilityStudy(*seed).Render())
-		},
-		"migration": func() {
-			t, err := exp.MigrationStudy(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(t.Render())
-		},
-		"closedloop": func() {
-			t, err := exp.ClosedLoopStudy(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(t.Render())
-		},
-		"saturation": func() {
-			t, err := exp.SaturationCurve()
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(t.Render())
-		},
-		"ablations": func() {
-			type namedFn struct {
-				name string
-				fn   func() (exp.Table, error)
-			}
-			for _, a := range []namedFn{
-				{"retrans-scheme", func() (exp.Table, error) { return exp.AblationRetransScheme(*seed) }},
-				{"routing-vs-flood", func() (exp.Table, error) { return exp.AblationRoutingUnderFlood(*seed) }},
-				{"payload-counter", func() (exp.Table, error) { return exp.AblationPayloadCounter(), nil }},
-				{"detector-history", func() (exp.Table, error) { return exp.AblationDetectorHistory(*seed) }},
-				{"escalation-order", func() (exp.Table, error) { return exp.AblationEscalationOrder(*seed) }},
-				{"ht-placement", func() (exp.Table, error) { return exp.AblationPlacement(*seed) }},
-			} {
-				t, err := a.fn()
-				if err != nil {
-					log.Fatalf("%s: %v", a.name, err)
-				}
-				fmt.Println(t.Render())
-			}
-		},
-	}
+	registry := exp.Registry(*bench)
 
 	if *which == "all" {
-		for _, id := range []string{"fig1", "fig2", "table1", "fig9", "table2", "fig8", "fig10", "fig11", "fig12", "headline", "ablations", "detectability", "migration", "closedloop", "saturation"} {
-			fmt.Printf("==== %s ====\n\n", id)
-			run[id]()
+		out, err := exp.RenderAll(exp.RunAll(registry, *seed, *parallel))
+		os.Stdout.WriteString(out)
+		if err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
-	fn, ok := run[*which]
+
+	e, ok := exp.Lookup(registry, *which)
 	if !ok {
-		log.Fatalf("unknown experiment %q", *which)
+		log.Fatalf("unknown experiment %q (known: %s, all)", *which, strings.Join(exp.IDs(registry), ", "))
 	}
-	fn()
+	tables, err := e.Run(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the
+// determinism regression test trims its experiment set under -race to keep
+// the instrumented run time sane.
+const raceEnabled = false

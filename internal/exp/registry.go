@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"tasp/internal/noc"
+)
+
+// Experiment is one runnable entry of the paper's evaluation: a stable id
+// plus a seed-parameterised harness returning rendered tables. Every
+// harness builds its own *noc.Network (and any other simulation state) from
+// scratch on each call and touches no shared mutable state, which is the
+// concurrency contract that lets RunAll fan experiments out across
+// goroutines while staying bit-identical to serial execution.
+type Experiment struct {
+	ID  string
+	Run func(seed uint64) ([]Table, error)
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	ID     string
+	Tables []Table
+	Err    error
+}
+
+// Registry returns the canonical, ordered list of experiments behind the
+// paper's tables/figures and the extension studies — the same order
+// `cmd/experiments -exp all` prints. bench selects the traffic trace used
+// by fig1 (the other experiments fix their own workloads).
+func Registry(bench string) []Experiment {
+	one := func(t Table, err error) ([]Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	}
+	return []Experiment{
+		{ID: "fig1", Run: func(uint64) ([]Table, error) {
+			f, err := RunFigure1(bench, noc.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return []Table{f.MatrixTable(), f.HotspotTable(noc.DefaultConfig()), f.LinkTable()}, nil
+		}},
+		{ID: "fig2", Run: func(uint64) ([]Table, error) {
+			return []Table{RunFigure2().TableOf()}, nil
+		}},
+		{ID: "table1", Run: func(uint64) ([]Table, error) {
+			return []Table{RunTableI()}, nil
+		}},
+		{ID: "fig9", Run: func(uint64) ([]Table, error) {
+			return []Table{RunFigure9()}, nil
+		}},
+		{ID: "table2", Run: func(uint64) ([]Table, error) {
+			return []Table{RunTableII()}, nil
+		}},
+		{ID: "fig8", Run: func(uint64) ([]Table, error) {
+			return RunFigure8(), nil
+		}},
+		{ID: "fig10", Run: func(seed uint64) ([]Table, error) {
+			pts, err := RunFigure10(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []Table{Figure10Table(pts)}, nil
+		}},
+		{ID: "fig11", Run: func(seed uint64) ([]Table, error) {
+			f, err := RunFigure11(seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		}},
+		{ID: "fig12", Run: func(seed uint64) ([]Table, error) {
+			f, err := RunFigure12(seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		}},
+		{ID: "headline", Run: func(seed uint64) ([]Table, error) {
+			return one(Headline(seed))
+		}},
+		{ID: "ablations", Run: func(seed uint64) ([]Table, error) {
+			var out []Table
+			for _, a := range []struct {
+				name string
+				fn   func() (Table, error)
+			}{
+				{"retrans-scheme", func() (Table, error) { return AblationRetransScheme(seed) }},
+				{"routing-vs-flood", func() (Table, error) { return AblationRoutingUnderFlood(seed) }},
+				{"payload-counter", func() (Table, error) { return AblationPayloadCounter(), nil }},
+				{"detector-history", func() (Table, error) { return AblationDetectorHistory(seed) }},
+				{"escalation-order", func() (Table, error) { return AblationEscalationOrder(seed) }},
+				{"ht-placement", func() (Table, error) { return AblationPlacement(seed) }},
+			} {
+				t, err := a.fn()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", a.name, err)
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		}},
+		{ID: "detectability", Run: func(seed uint64) ([]Table, error) {
+			return []Table{DetectabilityStudy(seed)}, nil
+		}},
+		{ID: "migration", Run: func(seed uint64) ([]Table, error) {
+			return one(MigrationStudy(seed))
+		}},
+		{ID: "closedloop", Run: func(seed uint64) ([]Table, error) {
+			return one(ClosedLoopStudy(seed))
+		}},
+		{ID: "saturation", Run: func(uint64) ([]Table, error) {
+			return one(SaturationCurve())
+		}},
+	}
+}
+
+// Lookup returns the registry entry with the given id, or false.
+func Lookup(exps []Experiment, id string) (Experiment, bool) {
+	for _, e := range exps {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the registry ids in order.
+func IDs(exps []Experiment) []string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// DefaultWorkers is the worker count RunAll uses when given workers <= 0:
+// one per available CPU, capped at the experiment count.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// RunAll executes the experiments with one seed, fanned out across at most
+// `workers` goroutines (<= 1 runs serially on the calling goroutine, 0
+// means DefaultWorkers). Results come back in registry order regardless of
+// completion order, so rendered output is byte-identical to a serial run.
+//
+// Concurrency contract: each Experiment.Run call owns every piece of
+// simulation state it touches (networks, RNGs, traffic models) and shares
+// nothing mutable with other experiments. The determinism regression test
+// and the -race suite in this package enforce the contract.
+func RunAll(exps []Experiment, seed uint64, workers int) []Result {
+	results := make([]Result, len(exps))
+	runOne := func(i int) {
+		ts, err := exps[i].Run(seed)
+		results[i] = Result{ID: exps[i].ID, Tables: ts, Err: err}
+	}
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for i := range exps {
+			runOne(i)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// RenderAll renders a result set exactly as `cmd/experiments -exp all`
+// prints it: a banner per experiment followed by its tables. The first
+// experiment error is returned (with its id) after rendering stops.
+func RenderAll(results []Result) (string, error) {
+	var sb strings.Builder
+	for _, res := range results {
+		fmt.Fprintf(&sb, "==== %s ====\n\n", res.ID)
+		if res.Err != nil {
+			return sb.String(), fmt.Errorf("%s: %w", res.ID, res.Err)
+		}
+		for _, t := range res.Tables {
+			sb.WriteString(t.Render())
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String(), nil
+}

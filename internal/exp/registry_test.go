@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastRegistry returns the registry minus its slowest entries (fig10 sweeps
+// 16 benchmark x infection-fraction cells; ablations and the saturation
+// curve run many full simulations). The remaining set still covers both
+// hardware-model and cycle-accurate-simulation experiments.
+func fastRegistry() []Experiment {
+	slow := map[string]bool{"fig10": true, "ablations": true, "detectability": true, "saturation": true}
+	var out []Experiment
+	for _, e := range Registry("blackscholes") {
+		if !slow[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func renderAll(t *testing.T, exps []Experiment, seed uint64, workers int) string {
+	t.Helper()
+	s, err := RenderAll(RunAll(exps, seed, workers))
+	if err != nil {
+		t.Fatalf("workers=%d seed=%d: %v", workers, seed, err)
+	}
+	return s
+}
+
+// TestRunAllParallelMatchesSerial is the determinism regression test for
+// the parallel experiment engine: fanning experiments across goroutines
+// must render byte-identical tables to a serial run, for multiple seeds.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		exps := fastRegistry()
+		serial := renderAll(t, exps, seed, 1)
+		parallel := renderAll(t, exps, seed, 8)
+		if serial != parallel {
+			t.Fatalf("seed %d: parallel output diverges from serial\nserial %d bytes, parallel %d bytes",
+				seed, len(serial), len(parallel))
+		}
+		if !strings.Contains(serial, "==== fig11 ====") {
+			t.Fatalf("seed %d: rendering is missing experiment banners", seed)
+		}
+	}
+	if raceEnabled || testing.Short() {
+		return // the full registry re-runs fig10's 16-cell sweep twice; too slow here
+	}
+	full := Registry("blackscholes")
+	serial := renderAll(t, full, 1, 1)
+	parallel := renderAll(t, full, 1, 8)
+	if serial != parallel {
+		t.Fatalf("full registry: parallel output diverges from serial (serial %d bytes, parallel %d bytes)",
+			len(serial), len(parallel))
+	}
+}
+
+// TestRunAllSeedSensitivity guards against a wiring bug where the seed is
+// dropped on the floor: simulation-backed experiments must react to it.
+func TestRunAllSeedSensitivity(t *testing.T) {
+	exps := []Experiment{}
+	for _, id := range []string{"fig11", "headline"} {
+		e, ok := Lookup(Registry("blackscholes"), id)
+		if !ok {
+			t.Fatalf("registry is missing %q", id)
+		}
+		exps = append(exps, e)
+	}
+	a := renderAll(t, exps, 1, 2)
+	b := renderAll(t, exps, 42, 2)
+	if a == b {
+		t.Fatal("seeds 1 and 42 render identical output; seed is not reaching the harnesses")
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	exps := Registry("blackscholes")
+	want := []string{"fig1", "fig2", "table1", "fig9", "table2", "fig8", "fig10", "fig11",
+		"fig12", "headline", "ablations", "detectability", "migration", "closedloop", "saturation"}
+	got := IDs(exps)
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q (order is part of the output contract)", i, got[i], want[i])
+		}
+	}
+	if _, ok := Lookup(exps, "no-such-experiment"); ok {
+		t.Fatal("Lookup invented an experiment")
+	}
+}

@@ -1,0 +1,38 @@
+package noc
+
+import "testing"
+
+// TestStepAllocationBudget enforces the zero-allocation hot path: once the
+// network has reached steady state under uniform traffic, Network.Step must
+// not allocate. The input-VC ring buffers, preallocated retransmission
+// storage, NI queue rings and rxState free list all exist to keep this at
+// zero; a regression in any of them (e.g. reintroducing slice-shift pops)
+// fails this test.
+func TestStepAllocationBudget(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := newStepLoad(n, 1, 0.02)
+	for i := 0; i < 2000; i++ { // steady state: buffers, pools and maps grown
+		load.inject()
+		n.Step()
+	}
+	avg := testing.AllocsPerRun(2000, func() { n.Step() })
+	if avg > 0.05 {
+		t.Fatalf("steady-state Network.Step allocates %.3f times per cycle; the hot-path budget is 0", avg)
+	}
+	if n.Counters.DeliveredPackets == 0 {
+		t.Fatal("no traffic delivered; the budget was measured on an idle network")
+	}
+
+	// The fully idle network must also be allocation-free (and near-free in
+	// time, via the active-router skip).
+	idle, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { idle.Step() }); avg != 0 {
+		t.Fatalf("idle Network.Step allocates %.3f times per cycle", avg)
+	}
+}

@@ -1,0 +1,110 @@
+package noc
+
+import (
+	"testing"
+
+	"tasp/internal/flit"
+	"tasp/internal/xrand"
+)
+
+// stepLoad drives uniform random traffic into the network: each core flips a
+// Bernoulli coin per cycle and, on success, injects a 5-flit packet to a
+// uniformly chosen destination. Deterministic from the seed.
+type stepLoad struct {
+	n    *Network
+	rng  *xrand.RNG
+	rate float64
+}
+
+func newStepLoad(n *Network, seed uint64, rate float64) *stepLoad {
+	return &stepLoad{n: n, rng: xrand.New(seed), rate: rate}
+}
+
+func (l *stepLoad) inject() {
+	cfg := l.n.Config()
+	cores := cfg.Cores()
+	for c := 0; c < cores; c++ {
+		if !l.rng.Bool(l.rate) {
+			continue
+		}
+		dst := l.rng.Intn(cores)
+		if dst == c {
+			continue
+		}
+		p := &flit.Packet{
+			Hdr: flit.Header{
+				VC:   uint8(l.rng.Intn(cfg.VCs)),
+				DstR: uint8(cfg.CoreRouter(dst)),
+				DstC: uint8(dst % cfg.Concentration),
+				Mem:  uint32(l.rng.Uint64()),
+			},
+			Body: make([]uint64, 4), // 5-flit packet
+		}
+		l.n.Inject(c, p)
+	}
+}
+
+// BenchmarkNetworkStep measures the simulator hot path: one whole-network
+// clock cycle on the paper's 4x4 concentrated mesh. Run with -benchmem; the
+// allocs/op figure is what internal/noc's allocation-budget test guards.
+func BenchmarkNetworkStep(b *testing.B) {
+	b.Run("idle", func(b *testing.B) {
+		n, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Step()
+		}
+	})
+
+	// uniform: sustained uniform random traffic at a moderate, non-saturating
+	// rate. Includes the injection path, as production runs do.
+	b.Run("uniform", func(b *testing.B) {
+		n, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		load := newStepLoad(n, 1, 0.02)
+		for i := 0; i < 500; i++ { // warm up to steady state
+			load.inject()
+			n.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			load.inject()
+			n.Step()
+		}
+	})
+
+	// drain: pre-loaded network stepping with no new injection — the pure
+	// Step cost with in-flight traffic.
+	b.Run("drain", func(b *testing.B) {
+		n, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		load := newStepLoad(n, 1, 0.05)
+		for i := 0; i < 200; i++ {
+			load.inject()
+			n.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Step()
+			if i%1000 == 999 {
+				// Top the network back up so it never fully drains.
+				b.StopTimer()
+				for j := 0; j < 50; j++ {
+					load.inject()
+					n.Step()
+				}
+				b.StartTimer()
+			}
+		}
+	})
+}

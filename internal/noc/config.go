@@ -168,3 +168,21 @@ func XYRoute(c Config) RouteFunc {
 		}
 	}
 }
+
+// XYTable returns XY dimension-order routing backed by a precomputed
+// (router, dst) -> port table: one array load at route-computation time
+// instead of coordinate arithmetic. Behaviour is identical to XYRoute;
+// networks are built on this by default.
+func XYTable(c Config) RouteFunc {
+	xy := XYRoute(c)
+	R := c.Routers()
+	tab := make([]uint8, R*R)
+	for r := 0; r < R; r++ {
+		for d := 0; d < R; d++ {
+			tab[r*R+d] = uint8(xy(r, d))
+		}
+	}
+	return func(router, dst int) int {
+		return int(tab[router*R+dst])
+	}
+}

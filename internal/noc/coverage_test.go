@@ -166,9 +166,16 @@ func TestInputVCEmptyHelper(t *testing.T) {
 	if !v.empty() {
 		t.Fatal("fresh VC not empty")
 	}
-	v.buf = append(v.buf, bufFlit{})
+	v.push(bufFlit{})
 	if v.empty() {
 		t.Fatal("non-empty VC reports empty")
+	}
+	if v.size() != 1 {
+		t.Fatalf("size = %d, want 1", v.size())
+	}
+	v.pop()
+	if !v.empty() {
+		t.Fatal("popped VC not empty")
 	}
 }
 

@@ -18,6 +18,9 @@ import "fmt"
 //     entry's VC is owned (by its own packet).
 //  4. Wormhole front consistency: a non-head flit at the front of an input
 //     VC implies the VC still holds routing state for its packet.
+//  5. Activity counters: the per-router inFlits/parked tallies driving the
+//     active-router skip match the actual buffer contents (a mismatch
+//     would make Step silently skip a router that still holds work).
 func (n *Network) CheckInvariants() error {
 	for _, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
@@ -47,7 +50,7 @@ func (n *Network) CheckInvariants() error {
 			l := n.links[op.linkID]
 			down := n.routers[l.To]
 			for v := 0; v < n.cfg.VCs; v++ {
-				occ := len(down.inputs[l.ToPort][v].buf)
+				occ := down.inputs[l.ToPort][v].size()
 				inflight := 0
 				for _, e := range op.entries {
 					if int(e.vc) == v {
@@ -63,9 +66,9 @@ func (n *Network) CheckInvariants() error {
 		for p := 0; p < NumPorts; p++ {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if len(ivc.buf) > n.cfg.BufDepth {
+				if ivc.size() > n.cfg.BufDepth {
 					return fmt.Errorf("r%d %s vc%d: input holds %d > depth %d",
-						r.id, PortName(p), v, len(ivc.buf), n.cfg.BufDepth)
+						r.id, PortName(p), v, ivc.size(), n.cfg.BufDepth)
 				}
 				if f := ivc.front(); f != nil && !f.f.IsHead() && !ivc.routed {
 					// Tolerated transiently after link disabling (orphans
@@ -77,6 +80,17 @@ func (n *Network) CheckInvariants() error {
 					}
 				}
 			}
+		}
+		inFlits, parked := 0, 0
+		for p := 0; p < NumPorts; p++ {
+			for v := range r.inputs[p] {
+				inFlits += r.inputs[p][v].size()
+			}
+			parked += len(r.outputs[p].entries)
+		}
+		if r.inFlits != inFlits || r.parked != parked {
+			return fmt.Errorf("r%d: activity counters inFlits=%d parked=%d, actual %d/%d",
+				r.id, r.inFlits, r.parked, inFlits, parked)
 		}
 	}
 	return nil

@@ -87,7 +87,7 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{cfg: cfg, refPacketFlits: 5}
-	n.route = XYRoute(cfg)
+	n.route = XYTable(cfg)
 	for r := 0; r < cfg.Routers(); r++ {
 		n.routers = append(n.routers, newRouter(r, cfg))
 		ni := newNI(r, cfg)
@@ -162,7 +162,8 @@ func (n *Network) DisableLink(linkID int) {
 	op := r.outputs[l.FromPort]
 	op.disabled = true
 	n.Counters.DroppedFlits += uint64(len(op.entries))
-	op.entries = nil
+	r.parked -= len(op.entries)
+	op.entries = op.entries[:0]
 	for v := range op.vcOwner {
 		op.vcOwner[v] = 0
 	}
@@ -170,11 +171,12 @@ func (n *Network) DisableLink(linkID int) {
 		for v := range r.inputs[p] {
 			ivc := &r.inputs[p][v]
 			if ivc.routed && ivc.route == l.FromPort {
-				n.Counters.DroppedFlits += uint64(len(ivc.buf))
+				dropped := ivc.clear()
+				n.Counters.DroppedFlits += uint64(dropped)
+				r.inFlits -= dropped
 				if up := r.ups[p]; up != nil {
-					up.credits[v] += len(ivc.buf) // freed slots
+					up.credits[v] += dropped // freed slots
 				}
-				ivc.buf = nil
 				ivc.routed = false
 				ivc.allocated = false
 			}
@@ -262,22 +264,39 @@ func (n *Network) Inject(core int, p *flit.Packet) bool {
 // the local input ports.
 func (n *Network) Step() {
 	n.cycle++
-	credit := func(up *outputPort, vc int) { up.credits[vc]++ }
+	// Routers holding no flits at all are skipped: every phase is a no-op
+	// on them (Router.wake repairs their stall clocks when traffic
+	// returns), so a mostly-idle mesh costs ~nothing per cycle.
 	for _, r := range n.routers {
-		r.phaseSAST(n.cfg, n.cycle, credit)
+		if r.inFlits == 0 {
+			continue // SA only ever moves input flits
+		}
+		r.phaseSAST(n.cfg, n.cycle)
 	}
 	for _, r := range n.routers {
+		if r.inFlits == 0 {
+			continue
+		}
 		r.phaseVA(n.cfg)
 	}
 	for _, r := range n.routers {
+		if r.inFlits == 0 {
+			continue
+		}
 		r.phaseRC(n.route, n.cycle, &n.Counters.DroppedFlits)
 	}
 	for _, r := range n.routers {
+		if r.idle() {
+			continue
+		}
 		for p := 0; p < NumPorts; p++ {
 			n.phaseLT(r.outputs[p])
 		}
 	}
 	for i, r := range n.routers {
+		if n.nis[i].total == 0 {
+			continue
+		}
 		n.nis[i].inject(r, n.cycle)
 	}
 }
@@ -341,6 +360,7 @@ func (n *Network) phaseLT(op *outputPort) {
 				op.credits[e.vc]++ // release the reserved downstream slot
 			}
 			op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
+			n.routers[op.router].parked--
 		}
 		return
 	}
@@ -362,13 +382,13 @@ func (n *Network) phaseLT(op *outputPort) {
 		// The credit for this slot was already reserved at switch
 		// allocation; deposit without touching the counter.
 		l := n.links[op.linkID]
-		ivc := &n.routers[l.To].inputs[l.ToPort][e.vc]
-		ivc.buf = append(ivc.buf, bufFlit{
+		n.routers[l.To].deposit(l.ToPort, int(e.vc), bufFlit{
 			f:       delivered,
 			readyAt: n.cycle + 1 + uint64(res.Stall),
-		})
+		}, n.cycle)
 	}
 	op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
+	n.routers[op.router].parked--
 }
 
 // Occupancy computes the utilisation snapshot the paper plots in Figures 11
@@ -400,7 +420,7 @@ func (n *Network) OccupancyWhere(vcIn func(vc int) bool, coreIn func(core int) b
 		for p := 0; p < NumPorts; p++ {
 			for v := range r.inputs[p] {
 				if vcIn(v) {
-					o.InputFlits += len(r.inputs[p][v].buf)
+					o.InputFlits += r.inputs[p][v].size()
 				}
 			}
 			op := r.outputs[p]
@@ -409,7 +429,10 @@ func (n *Network) OccupancyWhere(vcIn func(vc int) bool, coreIn func(core int) b
 					o.OutputFlits++
 				}
 			}
-			if p != PortLocal && !op.disabled && n.cycle-op.lastProgress >= stall {
+			// Idle routers are skipped by Step, so their lastProgress
+			// clocks are stale by design (wake refreshes them); with no
+			// flits anywhere they cannot be blocked.
+			if p != PortLocal && !op.disabled && !r.idle() && n.cycle-op.lastProgress >= stall {
 				blocked = true
 			}
 		}
@@ -422,7 +445,7 @@ func (n *Network) OccupancyWhere(vcIn func(vc int) bool, coreIn func(core int) b
 				continue
 			}
 			cores++
-			o.InjectionFlit += len(n.nis[i].queues[c])
+			o.InjectionFlit += n.nis[i].qlen(c)
 			if n.nis[i].coreFull(c, n.refPacketFlits) {
 				full++
 			}
@@ -457,7 +480,7 @@ func (n *Network) DebugDump() string {
 		busy := false
 		for p := 0; p < NumPorts; p++ {
 			for v := range r.inputs[p] {
-				if len(r.inputs[p][v].buf) > 0 {
+				if !r.inputs[p][v].empty() {
 					busy = true
 				}
 			}
@@ -472,12 +495,12 @@ func (n *Network) DebugDump() string {
 		for p := 0; p < NumPorts; p++ {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if len(ivc.buf) == 0 {
+				f := ivc.front()
+				if f == nil {
 					continue
 				}
-				f := ivc.buf[0]
 				app("  in %s vc%d: %d flits routed=%v route=%d alloc=%v front={pkt %d idx %d %v ready %d}\n",
-					PortName(p), v, len(ivc.buf), ivc.routed, ivc.route, ivc.allocated,
+					PortName(p), v, ivc.size(), ivc.routed, ivc.route, ivc.allocated,
 					f.f.PacketID, f.f.Index, f.f.Kind, f.readyAt)
 			}
 			op := r.outputs[p]

@@ -16,14 +16,22 @@ type Delivery struct {
 // NI is the network interface of one router tile: per-core injection queues
 // feeding the router's local input port through a concentrator, and packet
 // reassembly on the ejection side.
+//
+// Each per-core queue uses head-index ring semantics (see inputVC): inject
+// consumes by advancing heads[core] rather than re-slicing, and enqueue
+// compacts the live region when the backing array runs out, so the steady
+// state allocates nothing.
 type NI struct {
 	router  int
 	cfg     Config
 	queues  [][]flit.Flit // one per local core, flit granularity
+	heads   []int         // per-core front index into queues[core]
+	total   int           // flits waiting across all queues
 	injLock []int         // vc -> core currently injecting a packet, -1 free
 	rrCore  int           // concentrator round-robin pointer
 
-	rx map[uint64]*rxState // packet id -> reassembly state
+	rx     map[uint64]*rxState // packet id -> reassembly state
+	rxFree []*rxState          // recycled reassembly states
 
 	// Delivered is invoked for each fully reassembled packet. May be nil.
 	Delivered func(d Delivery)
@@ -40,8 +48,12 @@ func newNI(router int, cfg Config) *NI {
 		router:  router,
 		cfg:     cfg,
 		queues:  make([][]flit.Flit, cfg.Concentration),
+		heads:   make([]int, cfg.Concentration),
 		injLock: make([]int, cfg.VCs),
 		rx:      map[uint64]*rxState{},
+	}
+	for c := range ni.queues {
+		ni.queues[c] = make([]flit.Flit, 0, cfg.InjQueueCap)
 	}
 	for v := range ni.injLock {
 		ni.injLock[v] = -1
@@ -49,33 +61,36 @@ func newNI(router int, cfg Config) *NI {
 	return ni
 }
 
+// qlen returns the number of flits waiting in one core's injection queue.
+func (ni *NI) qlen(core int) int { return len(ni.queues[core]) - ni.heads[core] }
+
 // enqueue appends a packet's flits to the core-local injection queue if the
 // whole packet fits; otherwise it reports failure and queues nothing (the
 // source must retry — this is how full cores throttle, and what the paper's
 // "cores full" bins measure).
 func (ni *NI) enqueue(core int, fs []flit.Flit) bool {
-	q := ni.queues[core]
-	if len(q)+len(fs) > ni.cfg.InjQueueCap {
+	if ni.qlen(core)+len(fs) > ni.cfg.InjQueueCap {
 		return false
 	}
+	q, h := ni.queues[core], ni.heads[core]
+	if h > 0 && len(q)+len(fs) > cap(q) {
+		n := copy(q, q[h:])
+		q = q[:n]
+		ni.heads[core] = 0
+	}
 	ni.queues[core] = append(q, fs...)
+	ni.total += len(fs)
 	return true
 }
 
 // coreFull reports whether a core's injection queue cannot accept a packet
 // of the given flit count.
 func (ni *NI) coreFull(core, packetFlits int) bool {
-	return len(ni.queues[core])+packetFlits > ni.cfg.InjQueueCap
+	return ni.qlen(core)+packetFlits > ni.cfg.InjQueueCap
 }
 
 // occupancy returns the total flits waiting across this NI's queues.
-func (ni *NI) occupancy() int {
-	n := 0
-	for _, q := range ni.queues {
-		n += len(q)
-	}
-	return n
-}
+func (ni *NI) occupancy() int { return ni.total }
 
 // fullCores returns how many of the NI's cores have (nearly) full queues:
 // a queue is "full" when it cannot accept another maximal packet.
@@ -96,11 +111,10 @@ func (ni *NI) fullCores(packetFlits int) int {
 func (ni *NI) inject(r *Router, cycle uint64) bool {
 	for k := 0; k < ni.cfg.Concentration; k++ {
 		core := (ni.rrCore + k) % ni.cfg.Concentration
-		q := ni.queues[core]
-		if len(q) == 0 {
+		if ni.qlen(core) == 0 {
 			continue
 		}
-		f := q[0]
+		f := ni.queues[core][ni.heads[core]]
 		v := int(f.Header().VC)
 		if !f.IsHead() {
 			// Body/tail flits ride the VC their head locked.
@@ -111,12 +125,16 @@ func (ni *NI) inject(r *Router, cycle uint64) bool {
 		} else if ni.injLock[v] != -1 && ni.injLock[v] != core {
 			continue // VC locked by another core's in-flight packet
 		}
-		ivc := &r.inputs[PortLocal][v]
-		if len(ivc.buf) >= ni.cfg.BufDepth {
+		if r.inputs[PortLocal][v].size() >= ni.cfg.BufDepth {
 			continue
 		}
-		ivc.buf = append(ivc.buf, bufFlit{f: f, readyAt: cycle + 1})
-		ni.queues[core] = q[1:]
+		r.deposit(PortLocal, v, bufFlit{f: f, readyAt: cycle + 1}, cycle)
+		ni.heads[core]++
+		if ni.heads[core] == len(ni.queues[core]) {
+			ni.queues[core] = ni.queues[core][:0]
+			ni.heads[core] = 0
+		}
+		ni.total--
 		if f.IsHead() && !f.IsTail() {
 			ni.injLock[v] = core
 		}
@@ -142,10 +160,18 @@ func (ni *NI) lockedVC(core int) int {
 }
 
 // receive accepts an ejected flit and completes reassembly on the tail.
+// Retired rxStates are recycled through a free list so steady-state
+// delivery does not allocate.
 func (ni *NI) receive(f flit.Flit, cycle uint64) (done bool, latency uint64) {
 	st := ni.rx[f.PacketID]
 	if st == nil {
-		st = &rxState{}
+		if k := len(ni.rxFree); k > 0 {
+			st = ni.rxFree[k-1]
+			ni.rxFree = ni.rxFree[:k-1]
+			*st = rxState{}
+		} else {
+			st = &rxState{}
+		}
 		ni.rx[f.PacketID] = st
 	}
 	st.flits++
@@ -156,6 +182,7 @@ func (ni *NI) receive(f flit.Flit, cycle uint64) (done bool, latency uint64) {
 		return false, 0
 	}
 	delete(ni.rx, f.PacketID)
+	ni.rxFree = append(ni.rxFree, st)
 	lat := cycle - f.InjectAt
 	if ni.Delivered != nil {
 		ni.Delivered(Delivery{ID: f.PacketID, Hdr: st.hdr, Flits: st.flits, Latency: lat})

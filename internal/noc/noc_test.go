@@ -331,7 +331,7 @@ func TestCreditsNeverExceedDepth(t *testing.T) {
 					}
 				}
 				for v := range r.inputs[p] {
-					if got := len(r.inputs[p][v].buf); got > n.cfg.BufDepth {
+					if got := r.inputs[p][v].size(); got > n.cfg.BufDepth {
 						t.Fatalf("input VC overflow: %d flits", got)
 					}
 				}

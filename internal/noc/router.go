@@ -13,26 +13,59 @@ type bufFlit struct {
 // state of the packet currently at its front: the computed route (RC) and
 // whether the downstream VC has been allocated (VA). Both persist from the
 // head flit until the tail is popped.
+//
+// The FIFO uses head-index ring semantics over a single backing array:
+// pop advances head instead of re-slicing (which would retain popped flits
+// and force the next push to reallocate), and push compacts the live tail
+// down to index 0 when the array is exhausted. Steady state is
+// allocation-free once the buffer has grown to BufDepth.
 type inputVC struct {
 	buf       []bufFlit
+	head      int // index of the front flit within buf
 	routed    bool
 	route     int
 	allocated bool
 }
 
-func (v *inputVC) empty() bool { return len(v.buf) == 0 }
+func (v *inputVC) size() int { return len(v.buf) - v.head }
+
+func (v *inputVC) empty() bool { return len(v.buf) == v.head }
 
 func (v *inputVC) front() *bufFlit {
-	if len(v.buf) == 0 {
+	if v.empty() {
 		return nil
 	}
-	return &v.buf[0]
+	return &v.buf[v.head]
 }
 
 func (v *inputVC) pop() flit.Flit {
-	f := v.buf[0].f
-	v.buf = v.buf[1:]
+	f := v.buf[v.head].f
+	v.head++
+	if v.head == len(v.buf) {
+		// Drained: rewind to the start of the backing array for free.
+		v.buf = v.buf[:0]
+		v.head = 0
+	}
 	return f
+}
+
+func (v *inputVC) push(bf bufFlit) {
+	if v.head > 0 && len(v.buf) == cap(v.buf) {
+		// Compact the live region down to index 0; occupancy is bounded by
+		// BufDepth (credits), so the array never needs to grow past it.
+		n := copy(v.buf, v.buf[v.head:])
+		v.buf = v.buf[:n]
+		v.head = 0
+	}
+	v.buf = append(v.buf, bf)
+}
+
+// clear empties the FIFO and returns how many flits it dropped.
+func (v *inputVC) clear() int {
+	n := v.size()
+	v.buf = v.buf[:0]
+	v.head = 0
+	return n
 }
 
 // retransEntry is a flit parked in an output retransmission buffer, awaiting
@@ -124,16 +157,27 @@ type Router struct {
 	// ups[p] is the upstream output port feeding input port p (nil for the
 	// local injection port); credits return there when a slot frees.
 	ups [NumPorts]*outputPort
+
+	// inFlits and parked count the flits currently buffered in this
+	// router's input VCs and output retransmission buffers. When both are
+	// zero every pipeline phase is a no-op, and Step skips the router
+	// entirely (the active-router skip: idle routers cost ~nothing).
+	inFlits int
+	parked  int
 }
 
 func newRouter(id int, cfg Config) *Router {
 	r := &Router{id: id}
 	for p := 0; p < NumPorts; p++ {
 		r.inputs[p] = make([]inputVC, cfg.VCs)
+		for v := range r.inputs[p] {
+			r.inputs[p][v].buf = make([]bufFlit, 0, cfg.BufDepth)
+		}
 		r.outputs[p] = &outputPort{
 			router:  id,
 			port:    p,
 			linkID:  -1,
+			entries: make([]retransEntry, 0, retransCap(cfg)),
 			vcOwner: make([]uint64, cfg.VCs),
 			credits: make([]int, cfg.VCs),
 		}
@@ -147,6 +191,30 @@ func newRouter(id int, cfg Config) *Router {
 	return r
 }
 
+// idle reports whether the router holds no work at all.
+func (r *Router) idle() bool { return r.inFlits == 0 && r.parked == 0 }
+
+// wake refreshes the stall clocks of a router that is receiving its first
+// flit after an idle stretch. While a router is idle, Step skips it — so
+// the per-port lastProgress updates phaseLT would have performed each idle
+// cycle are applied in one batch here, keeping the Occupancy stall detector
+// oblivious to the skip.
+func (r *Router) wake(cycle uint64) {
+	if !r.idle() {
+		return
+	}
+	for p := 0; p < NumPorts; p++ {
+		r.outputs[p].lastProgress = cycle
+	}
+}
+
+// deposit pushes a flit into an input VC, waking the router if it was idle.
+func (r *Router) deposit(port, vc int, bf bufFlit, cycle uint64) {
+	r.wake(cycle)
+	r.inputs[port][vc].push(bf)
+	r.inFlits++
+}
+
 // hasWorkFor reports whether any input VC holds a flit destined for the
 // given output port — used by the stall detector to distinguish an idle
 // port from a starved one.
@@ -154,7 +222,7 @@ func (r *Router) hasWorkFor(port int) bool {
 	for p := 0; p < NumPorts; p++ {
 		for v := range r.inputs[p] {
 			ivc := &r.inputs[p][v]
-			if len(ivc.buf) > 0 && ivc.routed && ivc.route == port {
+			if !ivc.empty() && ivc.routed && ivc.route == port {
 				return true
 			}
 		}
@@ -181,6 +249,7 @@ func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
 				if !f.f.IsHead() && !ivc.routed {
 					// Orphan: its head was dropped with a disabled link.
 					ivc.pop()
+					r.inFlits--
 					*dropped++
 					if up := r.ups[p]; up != nil {
 						up.credits[v]++ // freed slot
@@ -232,7 +301,7 @@ func (r *Router) phaseVA(cfg Config) {
 // flit per output port (and at most one per input port) moves through the
 // crossbar into the output retransmission buffer. Freed input slots return
 // a credit upstream.
-func (r *Router) phaseSAST(cfg Config, cycle uint64, credit func(up *outputPort, vc int)) {
+func (r *Router) phaseSAST(cfg Config, cycle uint64) {
 	var inputUsed [NumPorts]bool
 	for o := 0; o < NumPorts; o++ {
 		op := r.outputs[o]
@@ -268,6 +337,7 @@ func (r *Router) phaseSAST(cfg Config, cycle uint64, credit func(up *outputPort,
 			}
 			// Grant: traverse the crossbar into the retransmission buffer.
 			fl := ivc.pop()
+			r.inFlits--
 			if !op.ejection {
 				op.credits[v]--
 			}
@@ -276,12 +346,13 @@ func (r *Router) phaseSAST(cfg Config, cycle uint64, credit func(up *outputPort,
 			op.entries = append(op.entries, retransEntry{
 				f: fl, vc: uint8(v), enqueuedAt: cycle,
 			})
+			r.parked++
 			if fl.IsTail() {
 				ivc.routed = false
 				ivc.allocated = false
 			}
 			if up := r.ups[p]; up != nil {
-				credit(up, v)
+				up.credits[v]++
 			}
 			break // one grant per output port per cycle
 		}
