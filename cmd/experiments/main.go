@@ -2,7 +2,10 @@
 // evaluation section. Run with -exp all (default) to print the whole set,
 // or pick one of: fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1,
 // table2, headline, ablations, detectability, migration, closedloop,
-// saturation.
+// saturation. Extension studies outside the canonical set (currently:
+// topology, the cross-substrate attack/mitigation comparison) are
+// addressable by id but not part of -exp all, so the canonical output
+// stays regression-stable.
 //
 // Experiments are independent and deterministically seeded, so -exp all
 // fans them out across -parallel worker goroutines (default: one per CPU)
@@ -18,20 +21,27 @@ import (
 	"strings"
 
 	"tasp/internal/exp"
+	"tasp/internal/noc"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, all)")
+		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, topology, all)")
 		bench    = flag.String("bench", "blackscholes", "benchmark for fig1")
+		topology = flag.String("topology", "mesh", "substrate for fig1's workload characterisation: "+strings.Join(noc.Topologies(), ", "))
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", exp.DefaultWorkers(), "worker goroutines for -exp all (1 = serial)")
 	)
 	flag.Parse()
 
-	registry := exp.Registry(*bench)
+	ncfg := noc.DefaultConfig()
+	ncfg.Topo = *topology
+	if err := ncfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	registry := exp.RegistryFor(*bench, ncfg)
 
 	if *which == "all" {
 		out, err := exp.RenderAll(exp.RunAll(registry, *seed, *parallel))
@@ -44,7 +54,11 @@ func main() {
 
 	e, ok := exp.Lookup(registry, *which)
 	if !ok {
-		log.Fatalf("unknown experiment %q (known: %s, all)", *which, strings.Join(exp.IDs(registry), ", "))
+		e, ok = exp.Lookup(exp.Extensions(), *which)
+	}
+	if !ok {
+		log.Fatalf("unknown experiment %q (known: %s, %s, all)", *which,
+			strings.Join(exp.IDs(registry), ", "), strings.Join(exp.IDs(exp.Extensions()), ", "))
 	}
 	tables, err := e.Run(*seed)
 	if err != nil {

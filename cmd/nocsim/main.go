@@ -27,6 +27,7 @@ func main() {
 
 	var (
 		bench      = flag.String("bench", "blackscholes", "traffic model: "+strings.Join(tasp.Benchmarks(), ", "))
+		topology   = flag.String("topology", "mesh", "network substrate: "+strings.Join(noc.Topologies(), ", "))
 		seed       = flag.Uint64("seed", 1, "deterministic simulation seed")
 		warmup     = flag.Int("warmup", 1500, "cycles before the kill switch flips")
 		cycles     = flag.Int("cycles", 1500, "cycles simulated after the kill switch")
@@ -44,6 +45,7 @@ func main() {
 	flag.Parse()
 
 	cfg := tasp.DefaultConfig()
+	cfg.Noc.Topo = *topology
 	cfg.Benchmark = *bench
 	cfg.Seed = *seed
 	cfg.Warmup = *warmup
@@ -90,7 +92,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("benchmark=%s mitigation=%s seed=%d\n", *bench, cfg.Mitigation, *seed)
+	fmt.Printf("benchmark=%s topology=%s mitigation=%s seed=%d\n",
+		*bench, cfg.Noc.TopoName(), cfg.Mitigation, *seed)
 	if cfg.Attack.Enabled {
 		fmt.Printf("infected links: %v (trojan matches=%d injections=%d)\n",
 			res.InfectedLinks, res.HTMatches, res.HTInjections)

@@ -39,10 +39,11 @@ func AblationRetransScheme(seed uint64) (Table, error) {
 			return t, err
 		}
 		last := res.Samples[len(res.Samples)-1]
+		R := cfg.Noc.Routers()
 		t.Rows = append(t.Rows, []string{
 			scheme.name, f3(res.Throughput),
-			fmt.Sprintf("%d/16", last.BlockedRouters),
-			fmt.Sprintf("%d/16", last.HalfCoresFull),
+			fmt.Sprintf("%d/%d", last.BlockedRouters, R),
+			fmt.Sprintf("%d/%d", last.HalfCoresFull, R),
 		})
 	}
 	return t, nil
@@ -278,7 +279,7 @@ func AblationPlacement(seed uint64) (Table, error) {
 			pl.name, fmt.Sprintf("%v", pl.links),
 			fmt.Sprintf("%d", res.HTInjections),
 			fmt.Sprintf("%d pkts", res.VictimDelivered),
-			fmt.Sprintf("%d/16", last.BlockedRouters),
+			fmt.Sprintf("%d/%d", last.BlockedRouters, cfg.Noc.Routers()),
 		})
 	}
 	return t, nil

@@ -14,6 +14,7 @@ import (
 // routing.
 type Figure1 struct {
 	Benchmark string
+	Platform  noc.Config
 	// Matrix[s][d] is the relative request weight from router s to d
 	// (source intensity folded in, as in the paper's packet counts).
 	Matrix [][]float64
@@ -30,7 +31,7 @@ func RunFigure1(bench string, cfg noc.Config) (*Figure1, error) {
 		return nil, err
 	}
 	R := cfg.Routers()
-	out := &Figure1{Benchmark: bench, Matrix: make([][]float64, R)}
+	out := &Figure1{Benchmark: bench, Platform: cfg, Matrix: make([][]float64, R)}
 	total := 0.0
 	for s := 0; s < R; s++ {
 		out.Matrix[s] = make([]float64, R)
@@ -53,10 +54,27 @@ func RunFigure1(bench string, cfg noc.Config) (*Figure1, error) {
 	return out, nil
 }
 
+// platformLabel describes the substrate for table titles ("4x4 mesh,
+// conc. 4", "16-router ring, conc. 4").
+func platformLabel(cfg noc.Config) string {
+	if cfg.TopoName() == "ring" {
+		return fmt.Sprintf("%d-router ring, conc. %d", cfg.Routers(), cfg.Concentration)
+	}
+	return fmt.Sprintf("%dx%d %s, conc. %d", cfg.Width, cfg.Height, cfg.TopoName(), cfg.Concentration)
+}
+
+// routeLabel names the default routing rule of the substrate.
+func routeLabel(cfg noc.Config) string {
+	if cfg.TopoName() == "ring" {
+		return "shortest-direction routing"
+	}
+	return "XY routing"
+}
+
 // MatrixTable renders Figure 1(a).
 func (f *Figure1) MatrixTable() Table {
 	t := Table{
-		Title:   fmt.Sprintf("Figure 1(a): %s source->destination request shares (4x4 mesh, conc. 4)", f.Benchmark),
+		Title:   fmt.Sprintf("Figure 1(a): %s source->destination request shares (%s)", f.Benchmark, platformLabel(f.Platform)),
 		Columns: []string{"src\\dst"},
 	}
 	for d := range f.Matrix {
@@ -94,7 +112,7 @@ func (f *Figure1) HotspotTable(cfg noc.Config) Table {
 // LinkTable renders Figure 1(c), hottest links first.
 func (f *Figure1) LinkTable() Table {
 	t := Table{
-		Title:   fmt.Sprintf("Figure 1(c): %s per-link traffic shares under XY routing", f.Benchmark),
+		Title:   fmt.Sprintf("Figure 1(c): %s per-link traffic shares under %s", f.Benchmark, routeLabel(f.Platform)),
 		Columns: []string{"link", "share"},
 	}
 	type kv struct {

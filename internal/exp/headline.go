@@ -52,13 +52,14 @@ func Headline(seed uint64) (Table, error) {
 		}
 	}
 	last := res.Samples[len(res.Samples)-1]
+	R := atk.Noc.Routers()
 	t.Rows = append(t.Rows, []string{
 		">=1 blocked port on routers, <1500 cycles after enable", "68% (11/16)",
-		fmt.Sprintf("%d/16 (%s)", last.BlockedRouters, pct(float64(last.BlockedRouters)/16)),
+		fmt.Sprintf("%d/%d (%s)", last.BlockedRouters, R, pct(float64(last.BlockedRouters)/float64(R))),
 	})
 	t.Rows = append(t.Rows, []string{
 		"injection ports (>50% cores full) deadlocked by 1500 cycles", "81% (13/16)",
-		fmt.Sprintf("%d/16 (%s)", last.HalfCoresFull, pct(float64(last.HalfCoresFull)/16)),
+		fmt.Sprintf("%d/%d (%s)", last.HalfCoresFull, R, pct(float64(last.HalfCoresFull)/float64(R))),
 	})
 
 	// Mitigation efficacy.

@@ -141,7 +141,7 @@ func runMigrationCase(seed uint64, useLOb, useMigration bool) ([]string, error) 
 	return []string{
 		fmt.Sprintf("%d", victimGoodput),
 		f3(tput),
-		fmt.Sprintf("%d/16", blocked),
+		fmt.Sprintf("%d/%d", blocked, ncfg.Routers()),
 		fmt.Sprintf("%d", mig.Moves),
 	}, nil
 }

@@ -32,6 +32,15 @@ type Result struct {
 // `cmd/experiments -exp all` prints. bench selects the traffic trace used
 // by fig1 (the other experiments fix their own workloads).
 func Registry(bench string) []Experiment {
+	return RegistryFor(bench, noc.DefaultConfig())
+}
+
+// RegistryFor is Registry with an explicit platform for the workload
+// characterisation (fig1) — the `-topology` knob. The paper-reproduction
+// experiments pin their own platform (the 4x4 mesh the paper evaluates), so
+// only fig1 follows ncfg; cross-substrate attack results live in the
+// "topology" extension instead.
+func RegistryFor(bench string, ncfg noc.Config) []Experiment {
 	one := func(t Table, err error) ([]Table, error) {
 		if err != nil {
 			return nil, err
@@ -40,11 +49,11 @@ func Registry(bench string) []Experiment {
 	}
 	return []Experiment{
 		{ID: "fig1", Run: func(uint64) ([]Table, error) {
-			f, err := RunFigure1(bench, noc.DefaultConfig())
+			f, err := RunFigure1(bench, ncfg)
 			if err != nil {
 				return nil, err
 			}
-			return []Table{f.MatrixTable(), f.HotspotTable(noc.DefaultConfig()), f.LinkTable()}, nil
+			return []Table{f.MatrixTable(), f.HotspotTable(ncfg), f.LinkTable()}, nil
 		}},
 		{ID: "fig2", Run: func(uint64) ([]Table, error) {
 			return []Table{RunFigure2().TableOf()}, nil
@@ -117,6 +126,21 @@ func Registry(bench string) []Experiment {
 		}},
 		{ID: "saturation", Run: func(uint64) ([]Table, error) {
 			return one(SaturationCurve())
+		}},
+	}
+}
+
+// Extensions returns studies addressable by id but excluded from the
+// canonical `-exp all` set, so adding one never perturbs the regression
+// baseline of the canonical output.
+func Extensions() []Experiment {
+	return []Experiment{
+		{ID: "topology", Run: func(seed uint64) ([]Table, error) {
+			t, err := AblationTopology(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []Table{t}, nil
 		}},
 	}
 }

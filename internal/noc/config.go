@@ -6,6 +6,12 @@
 // retransmission with the retransmission buffers placed after the crossbar
 // (the paper's stated worst case).
 //
+// The substrate is pluggable through the Topology interface: besides the
+// paper's mesh, a torus (wraparound links, dateline VC classes for deadlock
+// freedom) and a bidirectional ring (three-port routers, shortest-direction
+// routing) are provided, all within the 16-router header-id limit so the
+// flit format is shared.
+//
 // The simulator is deliberately mechanical: it owns buffering, arbitration,
 // credits and the retransmission protocol, and delegates everything that
 // happens on the wire — ECC encode/decode, obfuscation, fault and trojan
@@ -47,6 +53,12 @@ func PortName(p int) string {
 // Config describes the simulated NoC. The zero value is not valid; use
 // DefaultConfig (the paper's platform) and override fields as needed.
 type Config struct {
+	// Topo selects the network substrate: "mesh" (default; "" means mesh),
+	// "torus" or "ring". Width*Height is the router count on every
+	// topology; the ring ignores the grid shape and arranges the routers
+	// in a cycle.
+	Topo string
+
 	Width         int // mesh columns
 	Height        int // mesh rows
 	Concentration int // cores per router
@@ -107,9 +119,24 @@ func (c Config) Cores() int { return c.Routers() * c.Concentration }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
+	switch c.Topo {
+	case "", "mesh", "torus":
+		if c.Width < 2 || c.Height < 2 {
+			return fmt.Errorf("noc: %s must be at least 2x2, got %dx%d", c.TopoName(), c.Width, c.Height)
+		}
+	case "ring":
+		if c.Width*c.Height < 3 {
+			return fmt.Errorf("noc: ring needs at least 3 routers, got %d", c.Width*c.Height)
+		}
+	default:
+		return fmt.Errorf("noc: unknown topology %q (have %v)", c.Topo, Topologies())
+	}
+	if (c.Topo == "torus" || c.Topo == "ring") && c.VCs < 2 {
+		// The dateline scheme needs two VC classes to cut each wraparound
+		// ring's channel-dependency cycle.
+		return fmt.Errorf("noc: %s needs at least 2 VCs for dateline deadlock freedom, got %d", c.Topo, c.VCs)
+	}
 	switch {
-	case c.Width < 2 || c.Height < 2:
-		return fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", c.Width, c.Height)
 	case c.Width*c.Height > 16:
 		// Header router-id fields are 4 bits wide (the paper's 16-router
 		// platform and the TASP comparator widths depend on it).
@@ -128,6 +155,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: RetransPenalty must be at least 1")
 	}
 	return nil
+}
+
+// TopoName returns the topology name with the empty default resolved.
+func (c Config) TopoName() string {
+	if c.Topo == "" {
+		return "mesh"
+	}
+	return c.Topo
+}
+
+// Topology constructs the configured topology object. It panics on a
+// configuration Validate would reject; validate first.
+func (c Config) Topology() Topology {
+	t, err := NewTopology(c.Topo, c.Width, c.Height)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // XY returns the mesh coordinates of a router id.

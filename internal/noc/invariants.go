@@ -23,7 +23,7 @@ import "fmt"
 //     would make Step silently skip a router that still holds work).
 func (n *Network) CheckInvariants() error {
 	for _, r := range n.routers {
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			op := r.outputs[p]
 			if op.disabled {
 				continue
@@ -63,7 +63,7 @@ func (n *Network) CheckInvariants() error {
 				}
 			}
 		}
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
 				if ivc.size() > n.cfg.BufDepth {
@@ -82,7 +82,7 @@ func (n *Network) CheckInvariants() error {
 			}
 		}
 		inFlits, parked := 0, 0
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			for v := range r.inputs[p] {
 				inFlits += r.inputs[p][v].size()
 			}

@@ -13,11 +13,17 @@ type LinkInfo struct {
 	FromPort int // output port at the source
 	To       int // destination router
 	ToPort   int // input port at the destination
+	// FromName is the topology's name for FromPort (e.g. "east", "cw").
+	FromName string
 }
 
 // String renders the link for logs ("r5 east -> r6").
 func (l LinkInfo) String() string {
-	return fmt.Sprintf("r%d %s -> r%d", l.From, PortName(l.FromPort), l.To)
+	name := l.FromName
+	if name == "" {
+		name = PortName(l.FromPort)
+	}
+	return fmt.Sprintf("r%d %s -> r%d", l.From, name, l.To)
 }
 
 // Counters aggregates cumulative simulation statistics.
@@ -61,6 +67,7 @@ type Occupancy struct {
 // Network is the whole simulated NoC.
 type Network struct {
 	cfg     Config
+	topo    Topology
 	routers []*Router
 	nis     []*NI
 	links   []LinkInfo
@@ -81,47 +88,54 @@ type Network struct {
 }
 
 // New builds a network from the configuration, fully wired with healthy
-// PlainWire links and XY routing.
+// PlainWire links and the topology's deterministic deadlock-free routing.
 func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, refPacketFlits: 5}
-	n.route = XYTable(cfg)
-	for r := 0; r < cfg.Routers(); r++ {
-		n.routers = append(n.routers, newRouter(r, cfg))
-		ni := newNI(r, cfg)
-		n.nis = append(n.nis, ni)
+	topo := cfg.Topology()
+	n := &Network{cfg: cfg, topo: topo, refPacketFlits: 5}
+	n.route = RouteTable(topo)
+	R := topo.Routers()
+	for r := 0; r < R; r++ {
+		ports := topo.NumPorts(r)
+		if ports < 2 || ports > MaxPorts {
+			return nil, fmt.Errorf("noc: topology %s declares %d ports on router %d (supported: 2..%d)",
+				topo.Name(), ports, r, MaxPorts)
+		}
+		n.routers = append(n.routers, newRouter(r, cfg, ports))
+		n.nis = append(n.nis, newNI(r, cfg))
 	}
-	// Wire the mesh: for each adjacent pair, two directed links.
-	connect := func(from, fromPort, to, toPort int) {
+	// The dateline VC-class tables (nil on the mesh): each link's output
+	// port gets its own table, vcClass[dst] = the class a packet destined
+	// for dst occupies in the downstream buffer of that specific link.
+	_, restricted := topo.VCClass(0, topo.Links()[0].To, 0)
+	for _, ls := range topo.Links() {
 		id := len(n.links)
-		n.links = append(n.links, LinkInfo{ID: id, From: from, FromPort: fromPort, To: to, ToPort: toPort})
-		op := n.routers[from].outputs[fromPort]
+		n.links = append(n.links, LinkInfo{
+			ID: id, From: ls.From, FromPort: ls.FromPort, To: ls.To, ToPort: ls.ToPort,
+			FromName: topo.PortName(ls.From, ls.FromPort),
+		})
+		op := n.routers[ls.From].outputs[ls.FromPort]
 		op.linkID = id
 		op.wire = NewPlainWire()
-		n.routers[to].ups[toPort] = op
-	}
-	for y := 0; y < cfg.Height; y++ {
-		for x := 0; x < cfg.Width; x++ {
-			r := cfg.RouterAt(x, y)
-			if x+1 < cfg.Width {
-				e := cfg.RouterAt(x+1, y)
-				connect(r, PortEast, e, PortWest)
-				connect(e, PortWest, r, PortEast)
-			}
-			if y+1 < cfg.Height {
-				s := cfg.RouterAt(x, y+1)
-				connect(r, PortNorth, s, PortSouth)
-				connect(s, PortSouth, r, PortNorth)
+		if restricted {
+			op.vcClass = make([]uint8, R)
+			for d := 0; d < R; d++ {
+				c, _ := topo.VCClass(ls.From, ls.To, d)
+				op.vcClass[d] = uint8(c)
 			}
 		}
+		n.routers[ls.To].ups[ls.ToPort] = op
 	}
 	return n, nil
 }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the network's substrate.
+func (n *Network) Topology() Topology { return n.topo }
 
 // Cycle returns the current simulation time.
 func (n *Network) Cycle() uint64 { return n.cycle }
@@ -167,7 +181,7 @@ func (n *Network) DisableLink(linkID int) {
 	for v := range op.vcOwner {
 		op.vcOwner[v] = 0
 	}
-	for p := 0; p < NumPorts; p++ {
+	for p := 0; p < r.numPorts; p++ {
 		for v := range r.inputs[p] {
 			ivc := &r.inputs[p][v]
 			if ivc.routed && ivc.route == l.FromPort {
@@ -289,7 +303,7 @@ func (n *Network) Step() {
 		if r.idle() {
 			continue
 		}
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			n.phaseLT(r.outputs[p])
 		}
 	}
@@ -417,7 +431,7 @@ func (n *Network) OccupancyWhere(vcIn func(vc int) bool, coreIn func(core int) b
 	o := Occupancy{Cycle: n.cycle}
 	for i, r := range n.routers {
 		blocked := false
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			for v := range r.inputs[p] {
 				if vcIn(v) {
 					o.InputFlits += r.inputs[p][v].size()
@@ -478,7 +492,7 @@ func (n *Network) DebugDump() string {
 	app := func(format string, args ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(format, args...))...) }
 	for _, r := range n.routers {
 		busy := false
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			for v := range r.inputs[p] {
 				if !r.inputs[p][v].empty() {
 					busy = true
@@ -492,7 +506,7 @@ func (n *Network) DebugDump() string {
 			continue
 		}
 		app("router %d:\n", r.id)
-		for p := 0; p < NumPorts; p++ {
+		for p := 0; p < r.numPorts; p++ {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
 				f := ivc.front()
@@ -500,12 +514,12 @@ func (n *Network) DebugDump() string {
 					continue
 				}
 				app("  in %s vc%d: %d flits routed=%v route=%d alloc=%v front={pkt %d idx %d %v ready %d}\n",
-					PortName(p), v, ivc.size(), ivc.routed, ivc.route, ivc.allocated,
+					n.topo.PortName(r.id, p), v, ivc.size(), ivc.routed, ivc.route, ivc.allocated,
 					f.f.PacketID, f.f.Index, f.f.Kind, f.readyAt)
 			}
 			op := r.outputs[p]
 			if len(op.entries) > 0 || anyOwner(op.vcOwner) {
-				app("  out %s: owner=%v credits=%v entries=", PortName(p), op.vcOwner, op.credits)
+				app("  out %s: owner=%v credits=%v entries=", n.topo.PortName(r.id, p), op.vcOwner, op.credits)
 				for _, e := range op.entries {
 					app("{pkt %d idx %d vc%d att%d next%d} ", e.f.PacketID, e.f.Index, e.vc, e.attempts, e.nextTry)
 				}

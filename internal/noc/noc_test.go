@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"strings"
 	"testing"
 
 	"tasp/internal/ecc"
@@ -26,27 +27,50 @@ func pkt(dstR, dstC int, vc uint8, body int) *flit.Packet {
 }
 
 func TestConfigValidate(t *testing.T) {
-	good := DefaultConfig()
-	if err := good.Validate(); err != nil {
-		t.Fatalf("default config invalid: %v", err)
+	cases := []struct {
+		name    string
+		mut     func(*Config)
+		wantErr string // substring of the error, "" = must validate
+	}{
+		{"default mesh", func(c *Config) {}, ""},
+		{"explicit mesh", func(c *Config) { c.Topo = "mesh" }, ""},
+		{"default torus", func(c *Config) { c.Topo = "torus" }, ""},
+		{"default ring", func(c *Config) { c.Topo = "ring" }, ""},
+		{"minimal ring", func(c *Config) { c.Topo = "ring"; c.Width, c.Height = 3, 1 }, ""},
+		{"minimal mesh", func(c *Config) { c.Width, c.Height = 2, 2 }, ""},
+
+		{"mesh too narrow", func(c *Config) { c.Width = 1 }, "at least 2x2"},
+		{"mesh too short", func(c *Config) { c.Height = 1 }, "at least 2x2"},
+		{"torus too narrow", func(c *Config) { c.Topo = "torus"; c.Width = 1 }, "at least 2x2"},
+		{"ring too small", func(c *Config) { c.Topo = "ring"; c.Width, c.Height = 2, 1 }, "at least 3 routers"},
+		{"unknown topology", func(c *Config) { c.Topo = "hypercube" }, "unknown topology"},
+		{"torus one VC", func(c *Config) { c.Topo = "torus"; c.VCs = 1 }, "dateline"},
+		{"ring one VC", func(c *Config) { c.Topo = "ring"; c.VCs = 1 }, "dateline"},
+		{"too many routers", func(c *Config) { c.Width, c.Height = 5, 4 }, "more than 16 routers"},
+		{"ring too many routers", func(c *Config) { c.Topo = "ring"; c.Width, c.Height = 17, 1 }, "more than 16 routers"},
+		{"zero concentration", func(c *Config) { c.Concentration = 0 }, "concentration"},
+		{"oversize concentration", func(c *Config) { c.Concentration = 9 }, "concentration"},
+		{"zero VCs", func(c *Config) { c.VCs = 0 }, "VCs must be 1..4"},
+		{"oversize VCs", func(c *Config) { c.VCs = 5 }, "VCs must be 1..4"},
+		{"zero BufDepth", func(c *Config) { c.BufDepth = 0 }, "BufDepth"},
+		{"zero RetransDepth", func(c *Config) { c.RetransDepth = 0 }, "RetransDepth"},
+		{"zero InjQueueCap", func(c *Config) { c.InjQueueCap = 0 }, "InjQueueCap"},
+		{"zero RetransPenalty", func(c *Config) { c.RetransPenalty = 0 }, "RetransPenalty"},
 	}
-	cases := []func(*Config){
-		func(c *Config) { c.Width = 1 },
-		func(c *Config) { c.Concentration = 0 },
-		func(c *Config) { c.Concentration = 9 },
-		func(c *Config) { c.VCs = 0 },
-		func(c *Config) { c.VCs = 5 },
-		func(c *Config) { c.BufDepth = 0 },
-		func(c *Config) { c.RetransDepth = 0 },
-		func(c *Config) { c.InjQueueCap = 0 },
-		func(c *Config) { c.RetransPenalty = 0 },
-	}
-	for i, mut := range cases {
-		c := DefaultConfig()
-		mut(&c)
-		if err := c.Validate(); err == nil {
-			t.Errorf("case %d: invalid config accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tc.mut(&c)
+			err := c.Validate()
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("valid config rejected: %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("invalid config accepted")
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

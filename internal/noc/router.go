@@ -25,6 +25,11 @@ type inputVC struct {
 	routed    bool
 	route     int
 	allocated bool
+	// outVC is the downstream virtual channel VA allocated for the packet
+	// at the front. It equals the input VC index except on dateline links
+	// of wraparound topologies, where the VC class remap moves the packet
+	// between VC halves (see outputPort.vcClass). Valid while allocated.
+	outVC uint8
 }
 
 func (v *inputVC) size() int { return len(v.buf) - v.head }
@@ -91,6 +96,13 @@ type outputPort struct {
 	wire     Wire
 	disabled bool
 
+	// vcClass, when non-nil, is the dateline VC-class table of the link
+	// this port drives: vcClass[dst] is the class (0 or 1) a packet
+	// destined for dst must occupy in the downstream buffer. VA maps the
+	// packet's VC lane into that class's half of the VC space. Nil on
+	// topologies without wraparound (the mesh) and on ejection ports.
+	vcClass []uint8
+
 	ejection bool // local port: delivers to the NI, no credits
 
 	saPtr int // round-robin pointer for switch allocation
@@ -149,14 +161,16 @@ func retransCap(cfg Config) int {
 	return cfg.RetransDepth
 }
 
-// Router is one mesh router: 5 input ports of VCs and 5 output ports.
+// Router is one router of the configured topology: numPorts input ports of
+// VCs and numPorts output ports, with port 0 always the local port.
 type Router struct {
-	id      int
-	inputs  [NumPorts][]inputVC
-	outputs [NumPorts]*outputPort
+	id       int
+	numPorts int
+	inputs   [][]inputVC
+	outputs  []*outputPort
 	// ups[p] is the upstream output port feeding input port p (nil for the
 	// local injection port); credits return there when a slot frees.
-	ups [NumPorts]*outputPort
+	ups []*outputPort
 
 	// inFlits and parked count the flits currently buffered in this
 	// router's input VCs and output retransmission buffers. When both are
@@ -166,9 +180,15 @@ type Router struct {
 	parked  int
 }
 
-func newRouter(id int, cfg Config) *Router {
-	r := &Router{id: id}
-	for p := 0; p < NumPorts; p++ {
+func newRouter(id int, cfg Config, ports int) *Router {
+	r := &Router{
+		id:       id,
+		numPorts: ports,
+		inputs:   make([][]inputVC, ports),
+		outputs:  make([]*outputPort, ports),
+		ups:      make([]*outputPort, ports),
+	}
+	for p := 0; p < ports; p++ {
 		r.inputs[p] = make([]inputVC, cfg.VCs)
 		for v := range r.inputs[p] {
 			r.inputs[p][v].buf = make([]bufFlit, 0, cfg.BufDepth)
@@ -203,7 +223,7 @@ func (r *Router) wake(cycle uint64) {
 	if !r.idle() {
 		return
 	}
-	for p := 0; p < NumPorts; p++ {
+	for p := 0; p < r.numPorts; p++ {
 		r.outputs[p].lastProgress = cycle
 	}
 }
@@ -219,7 +239,7 @@ func (r *Router) deposit(port, vc int, bf bufFlit, cycle uint64) {
 // given output port — used by the stall detector to distinguish an idle
 // port from a starved one.
 func (r *Router) hasWorkFor(port int) bool {
-	for p := 0; p < NumPorts; p++ {
+	for p := 0; p < r.numPorts; p++ {
 		for v := range r.inputs[p] {
 			ivc := &r.inputs[p][v]
 			if !ivc.empty() && ivc.routed && ivc.route == port {
@@ -235,7 +255,7 @@ func (r *Router) hasWorkFor(port int) bool {
 // disabling: heads whose computed route now points at a dead port are
 // re-routed, and orphaned body/tail flits of truncated packets are dropped.
 func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
-	for p := 0; p < NumPorts; p++ {
+	for p := 0; p < r.numPorts; p++ {
 		for v := range r.inputs[p] {
 			ivc := &r.inputs[p][v]
 			for {
@@ -272,29 +292,46 @@ func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
 
 // phaseVA allocates the downstream virtual channel to routed head flits.
 // VCs are static along the path (the header's VC field, which is also what
-// the TASP trojan snoops), so allocation means acquiring ownership of the
-// same-numbered VC at the chosen output. Round-robin across input ports
+// the TASP trojan snoops), so allocation normally means acquiring ownership
+// of the same-numbered VC at the chosen output; on dateline links of
+// wraparound topologies the packet's lane is remapped into the VC class the
+// dateline scheme demands (outVCFor). Round-robin across input ports
 // resolves contention.
 func (r *Router) phaseVA(cfg Config) {
-	for o := 0; o < NumPorts; o++ {
+	for o := 0; o < r.numPorts; o++ {
 		op := r.outputs[o]
-		for k := 0; k < NumPorts*cfg.VCs; k++ {
-			idx := (op.vaPtr + k) % (NumPorts * cfg.VCs)
+		n := r.numPorts * cfg.VCs
+		for k := 0; k < n; k++ {
+			idx := (op.vaPtr + k) % n
 			p, v := idx/cfg.VCs, idx%cfg.VCs
 			ivc := &r.inputs[p][v]
 			f := ivc.front()
 			if f == nil || !f.f.IsHead() || !ivc.routed || ivc.allocated || ivc.route != o {
 				continue
 			}
-			if op.vcOwner[v] != 0 {
+			ov := op.outVCFor(cfg, v, int(f.f.Header().DstR))
+			if op.vcOwner[ov] != 0 {
 				continue // downstream VC held by another packet
 			}
-			op.vcOwner[v] = f.f.PacketID + 1
+			op.vcOwner[ov] = f.f.PacketID + 1
 			ivc.allocated = true
+			ivc.outVC = uint8(ov)
 			op.vaPtr = idx + 1
 			break // one VC allocation per output per cycle
 		}
 	}
+}
+
+// outVCFor maps an input VC index to the downstream VC the packet must
+// occupy: the identity except on links with a dateline VC-class table,
+// where the packet keeps its lane within a class half but moves between
+// halves as the class changes.
+func (op *outputPort) outVCFor(cfg Config, v, dst int) int {
+	if op.vcClass == nil {
+		return v
+	}
+	half := cfg.VCs / 2
+	return v%half + int(op.vcClass[dst])*half
 }
 
 // phaseSAST performs switch allocation and switch traversal: one winning
@@ -302,17 +339,17 @@ func (r *Router) phaseVA(cfg Config) {
 // crossbar into the output retransmission buffer. Freed input slots return
 // a credit upstream.
 func (r *Router) phaseSAST(cfg Config, cycle uint64) {
-	var inputUsed [NumPorts]bool
-	for o := 0; o < NumPorts; o++ {
+	var inputUsed [MaxPorts]bool
+	for o := 0; o < r.numPorts; o++ {
 		op := r.outputs[o]
 		if op.full(retransCap(cfg)) || op.disabled {
 			continue
 		}
-		n := NumPorts * cfg.VCs
+		n := r.numPorts * cfg.VCs
 		for k := 0; k < n; k++ {
 			idx := (op.saPtr + k) % n
 			p, v := idx/cfg.VCs, idx%cfg.VCs
-			if inputUsed[p] || !op.hasSpace(cfg, v) {
+			if inputUsed[p] {
 				continue
 			}
 			ivc := &r.inputs[p][v]
@@ -326,25 +363,32 @@ func (r *Router) phaseSAST(cfg Config, cycle uint64) {
 			if f.f.IsHead() && !ivc.allocated {
 				continue
 			}
+			// Downstream-facing state (credits, retransmission slots,
+			// parked entries) lives in the VA-allocated output VC, which
+			// differs from the input VC index only across dateline links.
+			ov := int(ivc.outVC)
+			if !op.hasSpace(cfg, ov) {
+				continue
+			}
 			// The downstream buffer slot is reserved here, at switch
 			// allocation: a flit never enters the retransmission buffer
 			// without a credit. This keeps the shared post-crossbar
 			// buffer free of credit-starved entries, which would
 			// otherwise create cross-VC dependency cycles and deadlock
 			// the healthy network.
-			if !op.ejection && op.credits[v] <= 0 {
+			if !op.ejection && op.credits[ov] <= 0 {
 				continue
 			}
 			// Grant: traverse the crossbar into the retransmission buffer.
 			fl := ivc.pop()
 			r.inFlits--
 			if !op.ejection {
-				op.credits[v]--
+				op.credits[ov]--
 			}
 			inputUsed[p] = true
 			op.saPtr = idx + 1
 			op.entries = append(op.entries, retransEntry{
-				f: fl, vc: uint8(v), enqueuedAt: cycle,
+				f: fl, vc: uint8(ov), enqueuedAt: cycle,
 			})
 			r.parked++
 			if fl.IsTail() {

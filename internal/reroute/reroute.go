@@ -4,10 +4,11 @@
 // network disables it and recomputes routes around it, paying extra hops.
 //
 // Routes are built per destination with a breadth-first search over the
-// healthy directed links, preferring the XY-consistent port on ties so the
+// healthy directed links, preferring the lowest-numbered port on ties: on
+// the mesh that is east before west before north before south, so the
 // fault-free network reproduces plain XY routing exactly. Like Ariadne, the
 // reconfiguration is a full-table rebuild triggered by each newly disabled
-// link.
+// link, and it works unchanged on any Topology.
 package reroute
 
 import (
@@ -25,18 +26,20 @@ type Table struct {
 	Hops [][]int
 }
 
-// portPreference orders ports for tie-breaking so that the healthy-network
-// table degenerates to XY routing (x-dimension first).
-var portPreference = []int{noc.PortEast, noc.PortWest, noc.PortNorth, noc.PortSouth}
-
-// Build computes a table for the mesh avoiding the given disabled directed
-// links (by link id).
+// Build computes a table for the configured topology avoiding the given
+// disabled directed links (by link id). Ties between equal-length paths go
+// to the lowest-numbered port, which on the mesh degenerates to XY routing
+// (x-dimension first).
 func Build(cfg noc.Config, links []noc.LinkInfo, disabled map[int]bool) (*Table, error) {
+	topo := cfg.Topology()
 	R := cfg.Routers()
 	// adj[r][port] = neighbor router over a healthy link, or -1.
 	adj := make([][]int, R)
 	for r := range adj {
-		adj[r] = []int{-1, -1, -1, -1, -1}
+		adj[r] = make([]int, topo.NumPorts(r))
+		for p := range adj[r] {
+			adj[r][p] = -1
+		}
 	}
 	for _, l := range links {
 		if disabled[l.ID] {
@@ -67,7 +70,7 @@ func Build(cfg noc.Config, links []noc.LinkInfo, disabled map[int]bool) (*Table,
 				if dist[from] != -1 {
 					continue
 				}
-				for _, p := range portPreference {
+				for p := 1; p < len(adj[from]); p++ {
 					if adj[from][p] == cur {
 						dist[from] = dist[cur] + 1
 						queue = append(queue, from)
@@ -87,7 +90,7 @@ func Build(cfg noc.Config, links []noc.LinkInfo, disabled map[int]bool) (*Table,
 			}
 			// Choose the preferred healthy neighbour strictly closer to d.
 			t.Port[r][d] = -1
-			for _, p := range portPreference {
+			for p := 1; p < len(adj[r]); p++ {
 				nb := adj[r][p]
 				if nb >= 0 && dist[nb] == dist[r]-1 {
 					t.Port[r][d] = p
@@ -108,28 +111,19 @@ func (t *Table) Route() noc.RouteFunc {
 }
 
 // ExtraHops returns the total additional hops the table pays relative to
-// Manhattan distance, summed over all pairs — the rerouting cost metric of
-// Figure 2's permanent-fault panel.
+// the topology's fault-free distance, summed over all pairs — the
+// rerouting cost metric of Figure 2's permanent-fault panel.
 func (t *Table) ExtraHops() int {
+	topo := t.cfg.Topology()
 	extra := 0
 	for r := range t.Hops {
-		rx, ry := t.cfg.XY(r)
 		for d, h := range t.Hops[r] {
-			dx, dy := t.cfg.XY(d)
-			man := abs(rx-dx) + abs(ry-dy)
-			if h > man {
-				extra += h - man
+			if min := topo.HopDist(r, d); h > min {
+				extra += h - min
 			}
 		}
 	}
 	return extra
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // Apply disables the links on the network and installs the rebuilt table.

@@ -8,9 +8,39 @@
 // channel-dependency graph stays acyclic (Glass & Ni's turn models, plus
 // Chiu's odd-even rule). The simulator picks the least congested candidate
 // at route-computation time.
+//
+// Deadlock-freedom proofs are topology-specific: the turn models argue
+// acyclicity over the wrap-free mesh channel-dependency graph and say
+// nothing about torus or ring wraparound links (those substrates get
+// deadlock freedom from dateline VC classes under the default deterministic
+// route instead). Each algorithm therefore declares the topologies its
+// proof covers, and Algorithms only offers an algorithm on a substrate it
+// is certified for.
 package routing
 
 import "tasp/internal/noc"
+
+// validOn maps each algorithm name to the topologies its deadlock-freedom
+// argument covers. "xy" is the topology's own default deterministic route,
+// certified everywhere; the mesh turn models assume no wraparound channels.
+var validOn = map[string][]string{
+	"xy":             {"mesh", "torus", "ring"},
+	"west-first":     {"mesh"},
+	"north-last":     {"mesh"},
+	"negative-first": {"mesh"},
+	"odd-even":       {"mesh"},
+}
+
+// ValidOn reports whether the named algorithm is certified deadlock-free on
+// the named topology.
+func ValidOn(algo, topo string) bool {
+	for _, t := range validOn[algo] {
+		if t == topo {
+			return true
+		}
+	}
+	return false
+}
 
 // delta returns the signed x and y displacement toward the destination.
 func delta(cfg noc.Config, router, dst int) (dx, dy int) {
@@ -19,10 +49,11 @@ func delta(cfg noc.Config, router, dst int) (dx, dy int) {
 	return tx - cx, ty - cy
 }
 
-// XY returns dimension-order routing as a (single-candidate) adaptive
-// function, for uniform comparisons.
+// XY returns the topology's default deterministic route (dimension-order on
+// mesh and torus, shortest-direction on ring) as a (single-candidate)
+// adaptive function, for uniform comparisons.
 func XY(cfg noc.Config) noc.AdaptiveRouteFunc {
-	base := noc.XYRoute(cfg)
+	base := noc.RouteTable(cfg.Topology())
 	return func(router, dst int) []int {
 		return []int{base(router, dst)}
 	}
@@ -169,13 +200,22 @@ func OddEven(cfg noc.Config) noc.AdaptiveRouteFunc {
 	}
 }
 
-// Algorithms lists the available adaptive algorithms by name.
+// Algorithms lists the adaptive algorithms certified deadlock-free on the
+// configuration's topology, by name. On the mesh that is all five; torus
+// and ring configurations only get the default deterministic route.
 func Algorithms(cfg noc.Config) map[string]noc.AdaptiveRouteFunc {
-	return map[string]noc.AdaptiveRouteFunc{
-		"xy":             XY(cfg),
-		"west-first":     WestFirst(cfg),
-		"north-last":     NorthLast(cfg),
-		"negative-first": NegativeFirst(cfg),
-		"odd-even":       OddEven(cfg),
+	all := map[string]func(noc.Config) noc.AdaptiveRouteFunc{
+		"xy":             XY,
+		"west-first":     WestFirst,
+		"north-last":     NorthLast,
+		"negative-first": NegativeFirst,
+		"odd-even":       OddEven,
 	}
+	out := map[string]noc.AdaptiveRouteFunc{}
+	for name, mk := range all {
+		if ValidOn(name, cfg.TopoName()) {
+			out[name] = mk(cfg)
+		}
+	}
+	return out
 }

@@ -223,3 +223,53 @@ type deadWire struct{}
 func (deadWire) Transmit(_ uint64, f flit.Flit, _ uint8, _ int) (flit.Flit, noc.TxResult) {
 	return f, noc.TxResult{OK: false}
 }
+
+// TestTopologyLegality checks the per-topology certification: the turn
+// models are mesh-only, the default route is offered everywhere, and
+// Algorithms filters accordingly.
+func TestTopologyLegality(t *testing.T) {
+	for _, topo := range noc.Topologies() {
+		if !ValidOn("xy", topo) {
+			t.Errorf("xy must be valid on %s", topo)
+		}
+	}
+	for _, algo := range []string{"west-first", "north-last", "negative-first", "odd-even"} {
+		if !ValidOn(algo, "mesh") {
+			t.Errorf("%s must be valid on mesh", algo)
+		}
+		for _, topo := range []string{"torus", "ring"} {
+			if ValidOn(algo, topo) {
+				t.Errorf("%s must not be certified on %s (wraparound breaks the turn-model proof)", algo, topo)
+			}
+		}
+	}
+	if ValidOn("nonsense", "mesh") {
+		t.Error("unknown algorithm certified")
+	}
+
+	if got := len(Algorithms(cfg())); got != 5 {
+		t.Errorf("mesh offers %d algorithms, want 5", got)
+	}
+	for _, topo := range []string{"torus", "ring"} {
+		c := cfg()
+		c.Topo = topo
+		algs := Algorithms(c)
+		if len(algs) != 1 || algs["xy"] == nil {
+			t.Errorf("%s offers %v, want only xy", topo, algs)
+		}
+	}
+}
+
+// TestRingXYFollowsShortestDirection spot-checks that the xy algorithm on a
+// ring is the shortest-direction route, not mesh arithmetic.
+func TestRingXYFollowsShortestDirection(t *testing.T) {
+	c := cfg()
+	c.Topo = "ring"
+	route := XY(c)
+	if got := route(0, 15); len(got) != 1 || got[0] != noc.PortCCW {
+		t.Fatalf("route(0,15) = %v, want counter-clockwise wrap", got)
+	}
+	if got := route(0, 3); len(got) != 1 || got[0] != noc.PortCW {
+		t.Fatalf("route(0,3) = %v, want clockwise", got)
+	}
+}

@@ -19,9 +19,12 @@ import (
 	"tasp/internal/xrand"
 )
 
-// Model is a statistical traffic model over a concentrated mesh: a
+// Model is a statistical traffic model over a concentrated NoC: a
 // row-normalised source-router x destination-router weight matrix plus
-// per-source injection intensities.
+// per-source injection intensities. Spatial shapes (proximity decay,
+// transpose partners) are derived from the configured topology's own hop
+// metric, so the same benchmark localises correctly on mesh, torus and
+// ring substrates.
 type Model struct {
 	Name string
 	// Rate is the mean packets per core per cycle, before the per-source
@@ -78,26 +81,17 @@ func Benchmarks() []string {
 	return names
 }
 
-// hops returns the XY hop distance between two routers.
-func hops(cfg noc.Config, a, b int) int {
-	ax, ay := cfg.XY(a)
-	bx, by := cfg.XY(b)
-	return abs(ax-bx) + abs(ay-by)
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-// Benchmark constructs the named benchmark model for the given mesh.
+// Benchmark constructs the named benchmark model for the configured
+// topology.
 func Benchmark(name string, cfg noc.Config) (*Model, error) {
 	p, ok := benchmarks[name]
 	if !ok {
 		return nil, fmt.Errorf("traffic: unknown benchmark %q (have %v)", name, Benchmarks())
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology()
 	R := cfg.Routers()
 	m := &Model{
 		Name:         name,
@@ -108,11 +102,12 @@ func Benchmark(name string, cfg noc.Config) (*Model, error) {
 		Intensity:    make([]float64, R),
 		cfg:          cfg,
 	}
-	// Proximity of a router to the nearest primary, decayed per hop.
+	// Proximity of a router to the nearest primary, decayed per hop of the
+	// topology's own distance metric.
 	prox := func(r int) float64 {
 		best := math.Inf(1)
 		for _, pr := range p.primaries {
-			if d := float64(hops(cfg, r, pr)); d < best {
+			if d := float64(topo.HopDist(r, pr)); d < best {
 				best = d
 			}
 		}
@@ -168,9 +163,14 @@ func Benchmark(name string, cfg noc.Config) (*Model, error) {
 	return m, nil
 }
 
-// transposeOf maps router (x, y) to (y, x) on a square mesh, or reflects on
-// rectangular meshes.
+// transposeOf maps router (x, y) to (y, x) on a square mesh or torus (or
+// reflects on rectangular ones). On a ring, where there is no second
+// dimension to swap, it reflects the cycle: r -> (N - r) mod N, the ring
+// analogue of a butterfly exchange partner.
 func transposeOf(cfg noc.Config, r int) int {
+	if cfg.TopoName() == "ring" {
+		return (cfg.Routers() - r) % cfg.Routers()
+	}
 	x, y := cfg.XY(r)
 	tx, ty := y%cfg.Width, x%cfg.Height
 	return cfg.RouterAt(tx, ty)
@@ -308,8 +308,9 @@ func (g *Generator) sampleDst(src int) int {
 }
 
 // LinkLoads computes the analytic per-link traffic shares of a model under
-// XY routing (the quantity in Figure 1(c)). The return maps each directed
-// link (keyed by "from->to") to its share of total link traversals.
+// the topology's default routing (the quantity in Figure 1(c)). The return
+// maps each directed link (keyed by "from->to") to its share of total link
+// traversals.
 func LinkLoads(m *Model, cfg noc.Config) map[string]float64 {
 	return LinkLoadsWhere(m, cfg, nil)
 }
@@ -321,7 +322,12 @@ func LinkLoads(m *Model, cfg noc.Config) map[string]float64 {
 func LinkLoadsWhere(m *Model, cfg noc.Config, keep func(src, dst int) bool) map[string]float64 {
 	loads := map[string]float64{}
 	total := 0.0
-	route := noc.XYRoute(cfg)
+	topo := cfg.Topology()
+	route := noc.RouteTable(topo)
+	next := map[[2]int]int{}
+	for _, ls := range topo.Links() {
+		next[[2]int{ls.From, ls.FromPort}] = ls.To
+	}
 	for s := 0; s < cfg.Routers(); s++ {
 		for d := 0; d < cfg.Routers(); d++ {
 			w := m.Matrix[s][d] * m.Intensity[s]
@@ -331,11 +337,11 @@ func LinkLoadsWhere(m *Model, cfg noc.Config, keep func(src, dst int) bool) map[
 			cur := s
 			for cur != d {
 				port := route(cur, d)
-				next := neighbor(cfg, cur, port)
-				key := fmt.Sprintf("%d->%d", cur, next)
+				nb := next[[2]int{cur, port}]
+				key := fmt.Sprintf("%d->%d", cur, nb)
 				loads[key] += w
 				total += w
-				cur = next
+				cur = nb
 			}
 		}
 	}
@@ -343,23 +349,6 @@ func LinkLoadsWhere(m *Model, cfg noc.Config, keep func(src, dst int) bool) map[
 		loads[k] /= total
 	}
 	return loads
-}
-
-// neighbor returns the router on the other end of a port.
-func neighbor(cfg noc.Config, r, port int) int {
-	x, y := cfg.XY(r)
-	switch port {
-	case noc.PortEast:
-		return cfg.RouterAt(x+1, y)
-	case noc.PortWest:
-		return cfg.RouterAt(x-1, y)
-	case noc.PortNorth:
-		return cfg.RouterAt(x, y+1)
-	case noc.PortSouth:
-		return cfg.RouterAt(x, y-1)
-	default:
-		return r
-	}
 }
 
 // RouterTotals returns per-router outbound packet weight (Figure 1(b)'s
