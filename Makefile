@@ -3,7 +3,7 @@
 GO ?= go
 DATE ?= $(shell date +%F)
 
-.PHONY: all build vet test race bench bench-json experiments examples cover clean
+.PHONY: all build vet test race fuzz golden golden-check bench bench-json experiments examples cover clean
 
 all: build vet test
 
@@ -21,9 +21,23 @@ test:
 race:
 	$(GO) test -race ./internal/noc ./internal/exp
 
+# Fuzz the header Encode/Decode round-trip across randomized layouts.
+fuzz:
+	$(GO) test -fuzz=FuzzHeaderRoundTrip -fuzztime=10s ./internal/flit
+
 # Regenerate the paper's tables/figures and extension studies.
 experiments:
 	$(GO) run ./cmd/experiments -exp all
+
+# Refresh the canonical-output golden file (only when an intentional output
+# change lands; CI diffs against it byte-for-byte).
+golden:
+	$(GO) run ./cmd/experiments -exp all > testdata/golden/experiments-all-mesh.txt
+
+# Verify the canonical 4x4 mesh output is byte-identical to the golden file.
+golden-check:
+	$(GO) run ./cmd/experiments -exp all > /tmp/experiments-all-mesh.txt
+	diff -u testdata/golden/experiments-all-mesh.txt /tmp/experiments-all-mesh.txt
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx ./...
@@ -41,6 +55,7 @@ examples:
 	$(GO) run ./examples/mitigation-sweep
 	$(GO) run ./examples/trojan-designspace
 	$(GO) run ./examples/trace-driven
+	$(GO) run ./examples/scale-8x8
 
 cover:
 	$(GO) test -cover ./...

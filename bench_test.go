@@ -216,9 +216,9 @@ func BenchmarkSimulatorStep(b *testing.B) {
 // BenchmarkSecureWire measures one secured link traversal (encode,
 // obfuscate, trojan inspection, decode, detect).
 func BenchmarkSecureWire(b *testing.B) {
-	w := core.NewSecureWire(nil, 1)
+	w := core.NewSecureWire(nil, 1, flit.Default)
 	h := flit.Header{Kind: flit.Single, VC: 1, SrcR: 3, DstR: 9, Mem: 0x0900beef}
-	f := flit.Flit{Kind: flit.Single, Payload: h.Encode(), PacketID: 1}
+	f := flit.Flit{Kind: flit.Single, Payload: flit.Default.Encode(h), PacketID: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Transmit(uint64(i), f, 1, 0)

@@ -3,9 +3,9 @@
 // or pick one of: fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1,
 // table2, headline, ablations, detectability, migration, closedloop,
 // saturation. Extension studies outside the canonical set (currently:
-// topology, the cross-substrate attack/mitigation comparison) are
-// addressable by id but not part of -exp all, so the canonical output
-// stays regression-stable.
+// topology, the cross-substrate attack/mitigation comparison, and scale,
+// the 4x4-vs-8x8 substrate-scaling study) are addressable by id but not
+// part of -exp all, so the canonical output stays regression-stable.
 //
 // Experiments are independent and deterministically seeded, so -exp all
 // fans them out across -parallel worker goroutines (default: one per CPU)
@@ -28,9 +28,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, topology, all)")
+		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, topology, scale, all)")
 		bench    = flag.String("bench", "blackscholes", "benchmark for fig1")
 		topology = flag.String("topology", "mesh", "substrate for fig1's workload characterisation: "+strings.Join(noc.Topologies(), ", "))
+		width    = flag.Int("width", 4, "fig1 substrate columns (8 for an 8x8/256-core mesh)")
+		height   = flag.Int("height", 4, "fig1 substrate rows")
+		conc     = flag.Int("conc", 4, "fig1 cores per router (1..8)")
+		vcs      = flag.Int("vcs", 4, "fig1 virtual channels per port (1..8)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", exp.DefaultWorkers(), "worker goroutines for -exp all (1 = serial)")
 	)
@@ -38,6 +42,10 @@ func main() {
 
 	ncfg := noc.DefaultConfig()
 	ncfg.Topo = *topology
+	ncfg.Width = *width
+	ncfg.Height = *height
+	ncfg.Concentration = *conc
+	ncfg.VCs = *vcs
 	if err := ncfg.Validate(); err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,10 @@ func main() {
 	var (
 		bench      = flag.String("bench", "blackscholes", "traffic model: "+strings.Join(tasp.Benchmarks(), ", "))
 		topology   = flag.String("topology", "mesh", "network substrate: "+strings.Join(noc.Topologies(), ", "))
+		width      = flag.Int("width", 4, "substrate columns (8 for an 8x8/256-core mesh)")
+		height     = flag.Int("height", 4, "substrate rows")
+		conc       = flag.Int("conc", 4, "cores per router (1..8)")
+		vcs        = flag.Int("vcs", 4, "virtual channels per port (1..8)")
 		seed       = flag.Uint64("seed", 1, "deterministic simulation seed")
 		warmup     = flag.Int("warmup", 1500, "cycles before the kill switch flips")
 		cycles     = flag.Int("cycles", 1500, "cycles simulated after the kill switch")
@@ -46,6 +50,10 @@ func main() {
 
 	cfg := tasp.DefaultConfig()
 	cfg.Noc.Topo = *topology
+	cfg.Noc.Width = *width
+	cfg.Noc.Height = *height
+	cfg.Noc.Concentration = *conc
+	cfg.Noc.VCs = *vcs
 	cfg.Benchmark = *bench
 	cfg.Seed = *seed
 	cfg.Warmup = *warmup

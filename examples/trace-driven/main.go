@@ -106,9 +106,9 @@ func arm(n *noc.Network, model *traffic.Model) *tspHT {
 	target := taspht.ForDest(0)
 	out := &tspHT{}
 	for _, id := range core.ChooseInfectedLinks(model, n.Config(), n.Links(), 2, target) {
-		ht := taspht.New(target, taspht.DefaultPayloadBits)
+		ht := taspht.New(target, taspht.DefaultPayloadBits, n.Layout())
 		out.hts = append(out.hts, ht)
-		n.SetWire(id, core.NewSecureWire(ht, 7).WithMitigation(false))
+		n.SetWire(id, core.NewSecureWire(ht, 7, n.Layout()).WithMitigation(false))
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tasp/internal/ecc"
+	"tasp/internal/flit"
 	"tasp/internal/fault"
 	"tasp/internal/tasp"
 )
@@ -60,7 +61,7 @@ func TestTransientNoiseNotPermanent(t *testing.T) {
 // faulty (the trojan's strikes are inconsistent, not stuck-at), and a
 // disarmed trojan is completely invisible.
 func TestTrojanEvadesBIST(t *testing.T) {
-	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits, flit.Default)
 	rep := Scan(0, ht) // kill switch off: dormant
 	if rep.Permanent() || rep.Inconsistent != 0 {
 		t.Fatalf("dormant trojan visible to BIST: %+v", rep)
@@ -76,7 +77,7 @@ func TestTrojanEvadesBIST(t *testing.T) {
 // target aliases the all-zero walking patterns; its strikes show up as
 // inconsistent wires, not stuck ones.
 func TestTrojanWithAliasingTargetStaysInconsistent(t *testing.T) {
-	ht := tasp.New(tasp.ForDest(0), tasp.DefaultPayloadBits) // dest 0 = zeros
+	ht := tasp.New(tasp.ForDest(0), tasp.DefaultPayloadBits, flit.Default) // dest 0 = zeros
 	ht.SetKillSwitch(true)
 	rep := Scan(0, ht)
 	if rep.Permanent() {

@@ -280,6 +280,7 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 	}
 
 	// ---- wire assembly ----
+	layout := cfg.Noc.Layout()
 	mitigated := cfg.Mitigation == S2SLOb
 	trojans := make([]*tasp.HT, 0, len(infected))
 	wires := map[int]*SecureWire{}
@@ -291,7 +292,7 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 		var tap fault.Injector = fault.None
 		var chain fault.Chain
 		if isInfected[l.ID] && cfg.Attack.Enabled {
-			ht := tasp.New(cfg.Attack.Target, yBits)
+			ht := tasp.New(cfg.Attack.Target, yBits, layout)
 			trojans = append(trojans, ht)
 			chain = append(chain, ht)
 		}
@@ -301,7 +302,7 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 		if len(chain) > 0 {
 			tap = chain
 		}
-		w := NewSecureWire(tap, cfg.Seed^0x10b^uint64(l.ID))
+		w := NewSecureWire(tap, cfg.Seed^0x10b^uint64(l.ID), layout)
 		w.Mitigated = mitigated
 		if cfg.DetectorHistory > 0 {
 			w.Detector = detect.New(cfg.DetectorHistory)

@@ -39,7 +39,9 @@ type SecureWire struct {
 	// no-mitigation runs in Figure 11).
 	Mitigated bool
 
-	key *lob.Keystream
+	layout  flit.Layout
+	windows *lob.Windows
+	key     *lob.Keystream
 	// packet flow bookkeeping: body flits carry no header, so the L-Ob
 	// controller latches the flow when the head flit passes.
 	flows map[uint64]lob.FlowKey
@@ -52,8 +54,10 @@ type SecureWire struct {
 	StallCycles uint64 // total undo penalty charged downstream
 }
 
-// NewSecureWire builds a mitigated link around the given fault tap.
-func NewSecureWire(tap fault.Injector, keySeed uint64) *SecureWire {
+// NewSecureWire builds a mitigated link around the given fault tap. The
+// layout is the network's flit-header layout; both endpoints' hardware (the
+// L-Ob granularity windows and the flow latcher) is generated from it.
+func NewSecureWire(tap fault.Injector, keySeed uint64, l flit.Layout) *SecureWire {
 	if tap == nil {
 		tap = fault.None
 	}
@@ -62,6 +66,8 @@ func NewSecureWire(tap fault.Injector, keySeed uint64) *SecureWire {
 		Detector:  detect.New(0),
 		Log:       lob.NewMethodLog(),
 		Mitigated: true,
+		layout:    l,
+		windows:   lob.WindowsFor(l),
 		key:       lob.NewKeystream(keySeed),
 		flows:     map[uint64]lob.FlowKey{},
 	}
@@ -77,7 +83,7 @@ func (w *SecureWire) WithMitigation(on bool) *SecureWire {
 // flowOf resolves the flow a flit belongs to, latching it from head flits.
 func (w *SecureWire) flowOf(f flit.Flit, vc uint8) lob.FlowKey {
 	if f.IsHead() {
-		h := f.Header()
+		h := f.Header(w.layout)
 		k := lob.FlowKey{SrcR: h.SrcR, DstR: h.DstR, VC: h.VC}
 		if !f.IsTail() {
 			w.flows[f.PacketID] = k
@@ -123,11 +129,11 @@ func (w *SecureWire) Transmit(cycle uint64, f flit.Flit, vc uint8, attempt int) 
 	cw := ecc.Encode(f.Payload)
 	if choice.Method != lob.None {
 		w.Obfuscated++
-		cw = lob.Apply(cw, choice, key)
+		cw = w.windows.Apply(cw, choice, key)
 	}
 	cw = w.Tap.Inspect(cycle, cw, fault.Framing{Head: f.IsHead(), Tail: f.IsTail()})
 	if choice.Method != lob.None {
-		cw = lob.Undo(cw, choice, key)
+		cw = w.windows.Undo(cw, choice, key)
 	}
 	data, st, syn := ecc.Decode(cw)
 

@@ -12,11 +12,11 @@ import (
 
 func targetFlit(dst uint8) flit.Flit {
 	h := flit.Header{Kind: flit.Single, VC: 1, SrcR: 3, DstR: dst, Mem: 0x0900beef, Seq: 9}
-	return flit.Flit{Kind: flit.Single, Payload: h.Encode(), PacketID: 42}
+	return flit.Flit{Kind: flit.Single, Payload: flit.Default.Encode(h), PacketID: 42}
 }
 
 func TestSecureWireHealthyPassThrough(t *testing.T) {
-	w := NewSecureWire(nil, 1)
+	w := NewSecureWire(nil, 1, flit.Default)
 	f := targetFlit(9)
 	got, res := w.Transmit(0, f, 1, 0)
 	if !res.OK || res.Stall != 0 || got.Payload != f.Payload {
@@ -31,9 +31,9 @@ func TestSecureWireHealthyPassThrough(t *testing.T) {
 // live TASP trojan: strike, plain retry strike, BIST, obfuscated success,
 // method logged, and the flow's next flit passes on its first attempt.
 func TestSecureWireDefeatsTrojan(t *testing.T) {
-	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	w := NewSecureWire(ht, 2)
+	w := NewSecureWire(ht, 2, flit.Default)
 
 	f := targetFlit(9)
 	// Attempt 0: plain, struck.
@@ -79,9 +79,9 @@ func TestSecureWireDefeatsTrojan(t *testing.T) {
 }
 
 func TestSecureWireUnmitigatedKeepsFailing(t *testing.T) {
-	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	w := NewSecureWire(ht, 3)
+	w := NewSecureWire(ht, 3, flit.Default)
 	w.Mitigated = false
 	f := targetFlit(9)
 	for attempt := 0; attempt < 50; attempt++ {
@@ -95,9 +95,9 @@ func TestSecureWireUnmitigatedKeepsFailing(t *testing.T) {
 }
 
 func TestSecureWireNonTargetUnaffected(t *testing.T) {
-	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	w := NewSecureWire(ht, 4)
+	w := NewSecureWire(ht, 4, flit.Default)
 	f := targetFlit(5) // different destination
 	for i := 0; i < 20; i++ {
 		got, res := w.Transmit(uint64(i), f, 1, 0)
@@ -108,7 +108,7 @@ func TestSecureWireNonTargetUnaffected(t *testing.T) {
 }
 
 func TestSecureWireCorrectsTransients(t *testing.T) {
-	w := NewSecureWire(fault.NewTransient(3e-3, 5), 5)
+	w := NewSecureWire(fault.NewTransient(3e-3, 5), 5, flit.Default)
 	f := targetFlit(2)
 	okCount, corrected := 0, 0
 	for i := 0; i < 5000; i++ {
@@ -134,7 +134,7 @@ func TestSecureWireCorrectsTransients(t *testing.T) {
 func TestSecureWirePermanentFaultClassified(t *testing.T) {
 	// Two stuck wires: uncorrectable on many words; the detector must run
 	// BIST and classify the link permanent.
-	w := NewSecureWire(fault.NewStuckAt(map[int]uint{10: 1, 30: 1}), 6)
+	w := NewSecureWire(fault.NewStuckAt(map[int]uint{10: 1, 30: 1}), 6, flit.Default)
 	f := flit.Flit{Kind: flit.Single, Payload: 0, PacketID: 7} // all-zero word collides with both stucks
 	for attempt := 0; attempt < 3; attempt++ {
 		w.Transmit(uint64(attempt), f, 0, attempt)
@@ -145,13 +145,13 @@ func TestSecureWirePermanentFaultClassified(t *testing.T) {
 }
 
 func TestSecureWireBodyFlitFlowTracking(t *testing.T) {
-	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForDest(9), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	w := NewSecureWire(ht, 7)
+	w := NewSecureWire(ht, 7, flit.Default)
 
 	// Deliver the head under escalation so the method gets logged.
 	head := flit.Flit{Kind: flit.Head, PacketID: 99, Index: 0,
-		Payload: flit.Header{Kind: flit.Head, VC: 2, SrcR: 1, DstR: 9}.Encode()}
+		Payload: flit.Default.Encode(flit.Header{Kind: flit.Head, VC: 2, SrcR: 1, DstR: 9})}
 	w.Transmit(0, head, 2, 0)
 	w.Transmit(2, head, 2, 1)
 	if _, res := w.Transmit(4, head, 2, 2); !res.OK {
@@ -172,9 +172,9 @@ func TestSecureWireBodyFlitFlowTracking(t *testing.T) {
 func TestSecureWireForgetsFailedMethod(t *testing.T) {
 	// If a logged method stops working (trojan retuned), the wire must
 	// forget it and re-escalate rather than loop on the bad method.
-	ht := tasp.New(tasp.ForVC(1), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForVC(1), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	w := NewSecureWire(ht, 8)
+	w := NewSecureWire(ht, 8, flit.Default)
 	flow := lob.FlowKey{SrcR: 3, DstR: 9, VC: 1}
 	w.Log.Record(flow, lob.Choice{Method: lob.Invert, Gran: lob.PayloadOnly}) // useless vs a VC trigger
 	f := targetFlit(9)

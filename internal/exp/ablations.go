@@ -130,7 +130,7 @@ func AblationPayloadCounter() Table {
 		},
 	}
 	for _, y := range []int{2, 4, 8, 12, 16} {
-		ht := tasp.New(tasp.ForDest(1), y)
+		ht := tasp.New(tasp.ForDest(1), y, flit.Default)
 		ctr := power.Counter("payload", y, 0.1)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", y),

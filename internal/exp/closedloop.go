@@ -62,9 +62,9 @@ func runClosedLoopCase(seed uint64, attack, lob bool) ([]string, error) {
 		target := tasp.ForDest(0)
 		infected := core.ChooseInfectedLinks(model, ncfg, net.Links(), 2, target)
 		for _, id := range infected {
-			ht := tasp.New(target, tasp.DefaultPayloadBits)
+			ht := tasp.New(target, tasp.DefaultPayloadBits, net.Layout())
 			trojans = append(trojans, ht)
-			w := core.NewSecureWire(ht, seed^uint64(id))
+			w := core.NewSecureWire(ht, seed^uint64(id), net.Layout())
 			w.Mitigated = lob
 			net.SetWire(id, w)
 		}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"tasp/internal/flit"
 	"tasp/internal/logictest"
 	"tasp/internal/power"
 	"tasp/internal/sidechannel"
@@ -41,11 +42,11 @@ func DetectabilityStudy(seed uint64) Table {
 	}
 	for _, v := range power.TASPVariants {
 		// Logic testing, kill switch down.
-		dormant := tasp.New(targets[v], tasp.DefaultPayloadBits)
+		dormant := tasp.New(targets[v], tasp.DefaultPayloadBits, flit.Default)
 		off := logictest.Campaign{Vectors: 100000}.Run(dormant, seed)
 
 		// Logic testing, kill switch up.
-		armed := tasp.New(targets[v], tasp.DefaultPayloadBits)
+		armed := tasp.New(targets[v], tasp.DefaultPayloadBits, flit.Default)
 		armed.SetKillSwitch(true)
 		on := logictest.Campaign{Vectors: 100000}.Run(armed, seed+1)
 		onCell := "never"

@@ -102,9 +102,9 @@ func RunFigure2() *Figure2 {
 		// Trojan with L-Ob: the first packet pays detection + escalation,
 		// later packets only the logged-method penalty.
 		n, _ = noc.New(cfg)
-		ht := tasp.New(tasp.ForDest(uint8(dst)), tasp.DefaultPayloadBits)
+		ht := tasp.New(tasp.ForDest(uint8(dst)), tasp.DefaultPayloadBits, n.Layout())
 		ht.SetKillSwitch(true)
-		sw := core.NewSecureWire(ht, 42)
+		sw := core.NewSecureWire(ht, 42, n.Layout())
 		n.SetWire(eastLink(n).ID, sw)
 		out.TrojanFirst = append(out.TrojanFirst, measure(n, dst))
 		out.TrojanLOb = append(out.TrojanLOb, measure(n, dst))

@@ -69,15 +69,15 @@ func runMigrationCase(seed uint64, useLOb, useMigration bool) ([]string, error) 
 		var ht *tasp.HT
 		for _, id := range infected {
 			if id == l.ID {
-				ht = tasp.New(target, tasp.DefaultPayloadBits)
+				ht = tasp.New(target, tasp.DefaultPayloadBits, net.Layout())
 				trojans = append(trojans, ht)
 			}
 		}
 		var w *core.SecureWire
 		if ht != nil {
-			w = core.NewSecureWire(ht, seed^uint64(l.ID))
+			w = core.NewSecureWire(ht, seed^uint64(l.ID), net.Layout())
 		} else {
-			w = core.NewSecureWire(nil, seed^uint64(l.ID))
+			w = core.NewSecureWire(nil, seed^uint64(l.ID), net.Layout())
 		}
 		w.Mitigated = useLOb
 		net.SetWire(l.ID, w)

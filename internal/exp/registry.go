@@ -142,6 +142,13 @@ func Extensions() []Experiment {
 			}
 			return []Table{t}, nil
 		}},
+		{ID: "scale", Run: func(seed uint64) ([]Table, error) {
+			t, err := AblationScale(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []Table{t}, nil
+		}},
 	}
 }
 

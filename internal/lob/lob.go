@@ -122,39 +122,48 @@ var EscalationOrder = []Choice{
 	{Invert, PayloadOnly},
 }
 
-// windows of codeword positions per granularity, precomputed. The header
-// window is the codeword image of data bits 0..47 (type, vc, src, dst, mem,
-// core ids, seq); the payload window is everything else including parity.
-var (
+// Windows precomputes, for one flit-header layout, the codeword positions
+// each granularity covers. The header window is the codeword image of the
+// layout's header span (type, vc, src, dst, mem, core ids, seq — everything
+// below the spare field); the payload window is everything else including
+// parity. Both L-Ob endpoints of a link must be built from the same layout
+// or the undo will not invert the apply.
+type Windows struct {
 	headerPos  []int
 	payloadPos []int
 	wholePos   []int
-)
+}
 
-func init() {
+// WindowsFor builds the granularity windows for a header layout.
+func WindowsFor(l flit.Layout) *Windows {
+	w := &Windows{}
 	isHeader := map[int]bool{}
-	for d := 0; d < flit.SpareShift; d++ {
+	for d := 0; d < l.HeaderBits(); d++ {
 		isHeader[ecc.DataPosition(d)] = true
 	}
 	for p := 0; p < ecc.CodewordBits; p++ {
-		wholePos = append(wholePos, p)
+		w.wholePos = append(w.wholePos, p)
 		if isHeader[p] {
-			headerPos = append(headerPos, p)
+			w.headerPos = append(w.headerPos, p)
 		} else {
-			payloadPos = append(payloadPos, p)
+			w.payloadPos = append(w.payloadPos, p)
 		}
 	}
+	return w
 }
 
+// DefaultWindows are the windows of the paper's default header layout.
+var DefaultWindows = WindowsFor(flit.Default)
+
 // window returns the positions a granularity covers.
-func window(g Granularity) []int {
+func (w *Windows) window(g Granularity) []int {
 	switch g {
 	case HeaderOnly:
-		return headerPos
+		return w.headerPos
 	case PayloadOnly:
-		return payloadPos
+		return w.payloadPos
 	default:
-		return wholePos
+		return w.wholePos
 	}
 }
 
@@ -175,8 +184,8 @@ func (k *Keystream) Next() ecc.Codeword {
 
 // Apply transforms the codeword with the chosen method over the chosen
 // window. key is consumed only by Scramble; pass the same word to Undo.
-func Apply(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
-	pos := window(c.Gran)
+func (w *Windows) Apply(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
+	pos := w.window(c.Gran)
 	switch c.Method {
 	case None:
 		return cw
@@ -202,8 +211,8 @@ func Apply(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
 }
 
 // Undo reverses Apply with the same choice and key.
-func Undo(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
-	pos := window(c.Gran)
+func (w *Windows) Undo(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
+	pos := w.window(c.Gran)
 	switch c.Method {
 	case Shuffle:
 		return unpermute(cw, pos, rotateIdx)
@@ -211,8 +220,18 @@ func Undo(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
 		return unpermute(cw, pos, swapHalvesIdx)
 	default:
 		// Invert and Scramble are involutions.
-		return Apply(cw, c, key)
+		return w.Apply(cw, c, key)
 	}
+}
+
+// Apply transforms the codeword using the default layout's windows.
+func Apply(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
+	return DefaultWindows.Apply(cw, c, key)
+}
+
+// Undo reverses Apply using the default layout's windows.
+func Undo(cw ecc.Codeword, c Choice, key ecc.Codeword) ecc.Codeword {
+	return DefaultWindows.Undo(cw, c, key)
 }
 
 // shuffleRotate is the rotation distance of the Shuffle method.

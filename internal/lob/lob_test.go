@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"tasp/internal/ecc"
+	"tasp/internal/flit"
 )
 
 func allChoices() []Choice {
@@ -59,16 +60,53 @@ func TestApplyActuallyChangesWires(t *testing.T) {
 }
 
 func TestGranularityWindowsDisjoint(t *testing.T) {
-	// Header and payload windows must partition the codeword.
-	if len(headerPos)+len(payloadPos) != ecc.CodewordBits {
-		t.Fatalf("windows cover %d+%d of %d wires", len(headerPos), len(payloadPos), ecc.CodewordBits)
+	// Header and payload windows must partition the codeword, for every
+	// layout's windows — here the default and an 8x8/concentration-8/8-VC
+	// substrate's (3-bit vc, 6-bit router ids, 3-bit core ids).
+	big, err := flit.LayoutFor(64, 8, 8)
+	if err != nil {
+		t.Fatal(err)
 	}
-	seen := map[int]bool{}
-	for _, p := range append(append([]int{}, headerPos...), payloadPos...) {
-		if seen[p] {
-			t.Fatalf("wire %d in both windows", p)
+	for _, w := range []*Windows{DefaultWindows, WindowsFor(big)} {
+		if len(w.headerPos)+len(w.payloadPos) != ecc.CodewordBits {
+			t.Fatalf("windows cover %d+%d of %d wires", len(w.headerPos), len(w.payloadPos), ecc.CodewordBits)
 		}
-		seen[p] = true
+		seen := map[int]bool{}
+		for _, p := range append(append([]int{}, w.headerPos...), w.payloadPos...) {
+			if seen[p] {
+				t.Fatalf("wire %d in both windows", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestWindowsScaleWithLayout(t *testing.T) {
+	// A wider header layout obfuscates more wires under HeaderOnly: the
+	// window tracks the layout's header span instead of a fixed 56 bits.
+	big, err := flit.LayoutFor(64, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.HeaderBits() <= flit.Default.HeaderBits() {
+		t.Fatalf("expected 64-router layout to have a wider header than default (%d vs %d)",
+			big.HeaderBits(), flit.Default.HeaderBits())
+	}
+	bw := WindowsFor(big)
+	if len(bw.headerPos) != big.HeaderBits() {
+		t.Fatalf("header window %d wires, want %d", len(bw.headerPos), big.HeaderBits())
+	}
+	if len(DefaultWindows.headerPos) != flit.Default.HeaderBits() {
+		t.Fatalf("default header window %d wires, want %d", len(DefaultWindows.headerPos), flit.Default.HeaderBits())
+	}
+	// Round trip still holds on the scaled windows.
+	ks := NewKeystream(7)
+	for _, c := range allChoices() {
+		key := ks.Next()
+		cw := ecc.Encode(0xfeedface12345678)
+		if got := bw.Undo(bw.Apply(cw, c, key), c, key); got != cw {
+			t.Errorf("%v: round trip failed on scaled windows", c)
+		}
 	}
 }
 
@@ -76,13 +114,13 @@ func TestHeaderOnlyLeavesPayloadWires(t *testing.T) {
 	ks := NewKeystream(4)
 	cw := ecc.Encode(0xaaaa5555ffff0000)
 	got := Apply(cw, Choice{Invert, HeaderOnly}, ks.Next())
-	for _, p := range payloadPos {
+	for _, p := range DefaultWindows.payloadPos {
 		if got.Bit(p) != cw.Bit(p) {
 			t.Fatalf("header-only invert touched payload wire %d", p)
 		}
 	}
 	changed := false
-	for _, p := range headerPos {
+	for _, p := range DefaultWindows.headerPos {
 		if got.Bit(p) != cw.Bit(p) {
 			changed = true
 		}

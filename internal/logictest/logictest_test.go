@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"tasp/internal/fault"
+	"tasp/internal/flit"
 	"tasp/internal/tasp"
 )
 
 func TestKillSwitchHidesFromLogicTesting(t *testing.T) {
 	// Even the most easily excited trigger (2-bit VC) is invisible while
 	// the kill switch is off — the paper's stated reason for the killsw.
-	ht := tasp.New(tasp.ForVC(1), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForVC(1), tasp.DefaultPayloadBits, flit.Default)
 	r := Campaign{Vectors: 100000}.Run(ht, 1)
 	if r.Detected() {
 		t.Fatalf("dormant trojan triggered %d times", r.Triggers)
@@ -18,7 +19,7 @@ func TestKillSwitchHidesFromLogicTesting(t *testing.T) {
 }
 
 func TestNarrowTriggerCaughtQuickly(t *testing.T) {
-	ht := tasp.New(tasp.ForVC(1), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForVC(1), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
 	r := Campaign{Vectors: 1000}.Run(ht, 2)
 	if !r.Detected() {
@@ -36,7 +37,7 @@ func TestNarrowTriggerCaughtQuickly(t *testing.T) {
 func TestWideTriggerEvadesRandomVectors(t *testing.T) {
 	// The Full 42-bit comparator: 2^-42 per vector. 100k vectors see
 	// nothing.
-	ht := tasp.New(tasp.ForFull(3, 9, 1, 0xdead0000, 0xffffffff), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForFull(3, 9, 1, 0xdead0000, 0xffffffff), tasp.DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
 	r := Campaign{Vectors: 100000}.Run(ht, 3)
 	if r.Detected() {
@@ -48,12 +49,12 @@ func TestMemTriggerWithWideMask(t *testing.T) {
 	// A 16-bit address window: caught with enough vectors (2^16 expected),
 	// evaded by short campaigns.
 	target := tasp.ForMem(0x12340000, 0xffff0000)
-	short := tasp.New(target, tasp.DefaultPayloadBits)
+	short := tasp.New(target, tasp.DefaultPayloadBits, flit.Default)
 	short.SetKillSwitch(true)
 	if r := (Campaign{Vectors: 1000}).Run(short, 4); r.Detected() {
 		t.Logf("short campaign got lucky at vector %d (p~1.5%%)", r.FirstAt)
 	}
-	long := tasp.New(target, tasp.DefaultPayloadBits)
+	long := tasp.New(target, tasp.DefaultPayloadBits, flit.Default)
 	long.SetKillSwitch(true)
 	if r := (Campaign{Vectors: 500000}).Run(long, 5); !r.Detected() {
 		t.Fatal("16-bit window not excited in 500k vectors (expected ~8 hits)")
@@ -63,7 +64,7 @@ func TestMemTriggerWithWideMask(t *testing.T) {
 func TestDirectedVectorsStillFramed(t *testing.T) {
 	// Directed campaigns must behave (no panic, sane stats) and remain
 	// unable to excite a dormant trojan.
-	ht := tasp.New(tasp.ForDest(3), tasp.DefaultPayloadBits)
+	ht := tasp.New(tasp.ForDest(3), tasp.DefaultPayloadBits, flit.Default)
 	r := Campaign{Vectors: 5000, Directed: true}.Run(ht, 6)
 	if r.Detected() || r.Vectors != 5000 {
 		t.Fatalf("directed campaign misbehaved: %+v", r)

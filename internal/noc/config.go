@@ -9,8 +9,9 @@
 // The substrate is pluggable through the Topology interface: besides the
 // paper's mesh, a torus (wraparound links, dateline VC classes for deadlock
 // freedom) and a bidirectional ring (three-port routers, shortest-direction
-// routing) are provided, all within the 16-router header-id limit so the
-// flit format is shared.
+// routing) are provided. The flit-header field widths scale with the
+// configuration (Config.Layout), so substrates are bounded only by what a
+// 64-bit header can address — up to 256 routers — not by a fixed id width.
 //
 // The simulator is deliberately mechanical: it owns buffering, arbitration,
 // credits and the retransmission protocol, and delegates everything that
@@ -20,7 +21,15 @@
 // or the defence.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"tasp/internal/flit"
+)
+
+// MaxVCs bounds the per-port virtual-channel count the router pipeline
+// supports (fixed-size per-VC scratch state in the link-traversal phase).
+const MaxVCs = 8
 
 // Port indices within a router.
 const (
@@ -137,14 +146,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: %s needs at least 2 VCs for dateline deadlock freedom, got %d", c.Topo, c.VCs)
 	}
 	switch {
-	case c.Width*c.Height > 16:
-		// Header router-id fields are 4 bits wide (the paper's 16-router
-		// platform and the TASP comparator widths depend on it).
-		return fmt.Errorf("noc: more than 16 routers not supported (4-bit router ids in flit headers)")
-	case c.Concentration < 1 || c.Concentration > 4:
-		return fmt.Errorf("noc: concentration must be 1..4, got %d", c.Concentration)
-	case c.VCs < 1 || c.VCs > 4:
-		return fmt.Errorf("noc: VCs must be 1..4 (2-bit VC ids), got %d", c.VCs)
+	case c.Concentration < 1:
+		return fmt.Errorf("noc: concentration must be at least 1, got %d", c.Concentration)
+	case c.VCs < 1 || c.VCs > MaxVCs:
+		return fmt.Errorf("noc: VCs must be 1..%d, got %d", MaxVCs, c.VCs)
 	case c.BufDepth < 1:
 		return fmt.Errorf("noc: BufDepth must be positive")
 	case c.RetransDepth < 1:
@@ -154,7 +159,26 @@ func (c Config) Validate() error {
 	case c.RetransPenalty < 1:
 		return fmt.Errorf("noc: RetransPenalty must be at least 1")
 	}
+	// The substrate is bounded only by what a flit header can address: the
+	// id fields widen with the configuration (router ids = ceil(log2(R)))
+	// until the packed layout no longer fits the 64-bit payload.
+	if _, err := flit.LayoutFor(c.Routers(), c.Concentration, c.VCs); err != nil {
+		return fmt.Errorf("noc: %w", err)
+	}
 	return nil
+}
+
+// Layout derives the flit-header layout this configuration needs: router-id
+// bits = ceil(log2(routers)), core bits = ceil(log2(concentration)), VC bits
+// = ceil(log2(VCs)). The paper's 4x4/concentration-4/4-VC platform derives
+// exactly flit.Default. It panics on a configuration Validate would reject;
+// validate first.
+func (c Config) Layout() flit.Layout {
+	l, err := flit.LayoutFor(c.Routers(), c.Concentration, c.VCs)
+	if err != nil {
+		panic(err)
+	}
+	return l
 }
 
 // TopoName returns the topology name with the empty default resolved.

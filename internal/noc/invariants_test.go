@@ -100,10 +100,21 @@ func TestInvariantCatchesOwnershipBreach(t *testing.T) {
 }
 
 func TestConfigRejectsOversizeMesh(t *testing.T) {
+	// The substrate is bounded by the flit header's 64-bit capacity, not a
+	// fixed id width: 8x8 (6-bit ids) and 16x16 (8-bit ids) fit, a 32x32
+	// grid would need 10-bit router ids and must be rejected.
 	c := DefaultConfig()
 	c.Width, c.Height = 8, 8
+	if err := c.Validate(); err != nil {
+		t.Fatalf("64-router mesh rejected: %v", err)
+	}
+	c.Width, c.Height = 16, 16
+	if err := c.Validate(); err != nil {
+		t.Fatalf("256-router mesh rejected: %v", err)
+	}
+	c.Width, c.Height = 32, 32
 	if err := c.Validate(); err == nil {
-		t.Fatal("64-router mesh accepted despite 4-bit router ids")
+		t.Fatal("1024-router mesh accepted despite 8-bit id capacity")
 	}
 	c.Width, c.Height = 4, 4
 	if err := c.Validate(); err != nil {

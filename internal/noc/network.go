@@ -67,6 +67,7 @@ type Occupancy struct {
 // Network is the whole simulated NoC.
 type Network struct {
 	cfg     Config
+	layout  flit.Layout
 	topo    Topology
 	routers []*Router
 	nis     []*NI
@@ -94,7 +95,7 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	topo := cfg.Topology()
-	n := &Network{cfg: cfg, topo: topo, refPacketFlits: 5}
+	n := &Network{cfg: cfg, layout: cfg.Layout(), topo: topo, refPacketFlits: 5}
 	n.route = RouteTable(topo)
 	R := topo.Routers()
 	for r := 0; r < R; r++ {
@@ -104,7 +105,7 @@ func New(cfg Config) (*Network, error) {
 				topo.Name(), ports, r, MaxPorts)
 		}
 		n.routers = append(n.routers, newRouter(r, cfg, ports))
-		n.nis = append(n.nis, newNI(r, cfg))
+		n.nis = append(n.nis, newNI(r, cfg, n.layout))
 	}
 	// The dateline VC-class tables (nil on the mesh): each link's output
 	// port gets its own table, vcClass[dst] = the class a packet destined
@@ -133,6 +134,10 @@ func New(cfg Config) (*Network, error) {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Layout returns the flit-header layout the network encodes packets with
+// (derived from the configuration at construction).
+func (n *Network) Layout() flit.Layout { return n.layout }
 
 // Topology returns the network's substrate.
 func (n *Network) Topology() Topology { return n.topo }
@@ -260,7 +265,7 @@ func (n *Network) Inject(core int, p *flit.Packet) bool {
 	p.Hdr.SrcC = uint8(core % n.cfg.Concentration)
 	p.ID = n.nextPacketID
 	p.Inject = n.cycle
-	fs := p.Flits()
+	fs := p.Flits(n.layout)
 	if !n.nis[r].enqueue(core%n.cfg.Concentration, fs) {
 		n.Counters.InjectFailures++
 		return false
@@ -291,13 +296,13 @@ func (n *Network) Step() {
 		if r.inFlits == 0 {
 			continue
 		}
-		r.phaseVA(n.cfg)
+		r.phaseVA(n.cfg, n.layout)
 	}
 	for _, r := range n.routers {
 		if r.inFlits == 0 {
 			continue
 		}
-		r.phaseRC(n.route, n.cycle, &n.Counters.DroppedFlits)
+		r.phaseRC(n.route, n.layout, n.cycle, &n.Counters.DroppedFlits)
 	}
 	for _, r := range n.routers {
 		if r.idle() {
@@ -341,7 +346,7 @@ func (n *Network) phaseLT(op *outputPort) {
 			return
 		}
 	}
-	var blocked [4]bool // per-VC; cfg.VCs <= 4
+	var blocked [MaxVCs]bool // per-VC
 	pick := -1
 	for i := range op.entries {
 		e := &op.entries[i]

@@ -24,6 +24,7 @@ type Delivery struct {
 type NI struct {
 	router  int
 	cfg     Config
+	layout  flit.Layout
 	queues  [][]flit.Flit // one per local core, flit granularity
 	heads   []int         // per-core front index into queues[core]
 	total   int           // flits waiting across all queues
@@ -43,10 +44,11 @@ type rxState struct {
 	flits int
 }
 
-func newNI(router int, cfg Config) *NI {
+func newNI(router int, cfg Config, layout flit.Layout) *NI {
 	ni := &NI{
 		router:  router,
 		cfg:     cfg,
+		layout:  layout,
 		queues:  make([][]flit.Flit, cfg.Concentration),
 		heads:   make([]int, cfg.Concentration),
 		injLock: make([]int, cfg.VCs),
@@ -115,7 +117,7 @@ func (ni *NI) inject(r *Router, cycle uint64) bool {
 			continue
 		}
 		f := ni.queues[core][ni.heads[core]]
-		v := int(f.Header().VC)
+		v := int(f.Header(ni.layout).VC)
 		if !f.IsHead() {
 			// Body/tail flits ride the VC their head locked.
 			v = ni.lockedVC(core)
@@ -176,7 +178,7 @@ func (ni *NI) receive(f flit.Flit, cycle uint64) (done bool, latency uint64) {
 	}
 	st.flits++
 	if f.IsHead() {
-		st.hdr = f.Header()
+		st.hdr = f.Header(ni.layout)
 	}
 	if !f.IsTail() {
 		return false, 0

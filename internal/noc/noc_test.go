@@ -46,12 +46,18 @@ func TestConfigValidate(t *testing.T) {
 		{"unknown topology", func(c *Config) { c.Topo = "hypercube" }, "unknown topology"},
 		{"torus one VC", func(c *Config) { c.Topo = "torus"; c.VCs = 1 }, "dateline"},
 		{"ring one VC", func(c *Config) { c.Topo = "ring"; c.VCs = 1 }, "dateline"},
-		{"too many routers", func(c *Config) { c.Width, c.Height = 5, 4 }, "more than 16 routers"},
-		{"ring too many routers", func(c *Config) { c.Topo = "ring"; c.Width, c.Height = 17, 1 }, "more than 16 routers"},
+		{"5x4 mesh", func(c *Config) { c.Width, c.Height = 5, 4 }, ""},
+		{"8x8 mesh", func(c *Config) { c.Width, c.Height = 8, 8 }, ""},
+		{"8x8 torus", func(c *Config) { c.Topo = "torus"; c.Width, c.Height = 8, 8 }, ""},
+		{"64-router ring", func(c *Config) { c.Topo = "ring"; c.Width, c.Height = 64, 1 }, ""},
+		{"16x16 mesh", func(c *Config) { c.Width, c.Height = 16, 16 }, ""},
+		{"32x32 mesh", func(c *Config) { c.Width, c.Height = 32, 32 }, "router"},
 		{"zero concentration", func(c *Config) { c.Concentration = 0 }, "concentration"},
-		{"oversize concentration", func(c *Config) { c.Concentration = 9 }, "concentration"},
-		{"zero VCs", func(c *Config) { c.VCs = 0 }, "VCs must be 1..4"},
-		{"oversize VCs", func(c *Config) { c.VCs = 5 }, "VCs must be 1..4"},
+		{"concentration 8", func(c *Config) { c.Concentration = 8 }, ""},
+		{"256 routers x8 cores overflow", func(c *Config) { c.Width, c.Height, c.Concentration = 16, 16, 8 }, "payload"},
+		{"zero VCs", func(c *Config) { c.VCs = 0 }, "VCs must be 1..8"},
+		{"8 VCs", func(c *Config) { c.VCs = 8 }, ""},
+		{"oversize VCs", func(c *Config) { c.VCs = 9 }, "VCs must be 1..8"},
 		{"zero BufDepth", func(c *Config) { c.BufDepth = 0 }, "BufDepth"},
 		{"zero RetransDepth", func(c *Config) { c.RetransDepth = 0 }, "RetransDepth"},
 		{"zero InjQueueCap", func(c *Config) { c.InjQueueCap = 0 }, "InjQueueCap"},

@@ -254,7 +254,7 @@ func (r *Router) hasWorkFor(port int) bool {
 // buffer (the BW/RC pipeline stage). It also retires debris left by link
 // disabling: heads whose computed route now points at a dead port are
 // re-routed, and orphaned body/tail flits of truncated packets are dropped.
-func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
+func (r *Router) phaseRC(route RouteFunc, l flit.Layout, cycle uint64, dropped *uint64) {
 	for p := 0; p < r.numPorts; p++ {
 		for v := range r.inputs[p] {
 			ivc := &r.inputs[p][v]
@@ -281,7 +281,7 @@ func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
 					ivc.routed = false // stale route to a dead port
 				}
 				if f.f.IsHead() && !ivc.routed {
-					ivc.route = route(r.id, int(f.f.Header().DstR))
+					ivc.route = route(r.id, int(f.f.Header(l).DstR))
 					ivc.routed = true
 				}
 				break
@@ -297,7 +297,7 @@ func (r *Router) phaseRC(route RouteFunc, cycle uint64, dropped *uint64) {
 // wraparound topologies the packet's lane is remapped into the VC class the
 // dateline scheme demands (outVCFor). Round-robin across input ports
 // resolves contention.
-func (r *Router) phaseVA(cfg Config) {
+func (r *Router) phaseVA(cfg Config, l flit.Layout) {
 	for o := 0; o < r.numPorts; o++ {
 		op := r.outputs[o]
 		n := r.numPorts * cfg.VCs
@@ -309,7 +309,7 @@ func (r *Router) phaseVA(cfg Config) {
 			if f == nil || !f.f.IsHead() || !ivc.routed || ivc.allocated || ivc.route != o {
 				continue
 			}
-			ov := op.outVCFor(cfg, v, int(f.f.Header().DstR))
+			ov := op.outVCFor(cfg, v, int(f.f.Header(l).DstR))
 			if op.vcOwner[ov] != 0 {
 				continue // downstream VC held by another packet
 			}

@@ -9,9 +9,9 @@ import (
 )
 
 func BenchmarkInspectMiss(b *testing.B) {
-	ht := New(ForDest(9), DefaultPayloadBits)
+	ht := New(ForDest(9), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	cw := ecc.Encode(flit.Header{Kind: flit.Single, DstR: 5}.Encode())
+	cw := ecc.Encode(flit.Default.Encode(flit.Header{Kind: flit.Single, DstR: 5}))
 	fr := fault.Framing{Head: true, Tail: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -20,9 +20,9 @@ func BenchmarkInspectMiss(b *testing.B) {
 }
 
 func BenchmarkInspectStrike(b *testing.B) {
-	ht := New(ForDest(9), DefaultPayloadBits)
+	ht := New(ForDest(9), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	cw := ecc.Encode(flit.Header{Kind: flit.Single, DstR: 9}.Encode())
+	cw := ecc.Encode(flit.Default.Encode(flit.Header{Kind: flit.Single, DstR: 9}))
 	fr := fault.Framing{Head: true, Tail: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -31,9 +31,9 @@ func BenchmarkInspectStrike(b *testing.B) {
 }
 
 func BenchmarkInspectFullTarget(b *testing.B) {
-	ht := New(ForFull(3, 9, 1, 0x09000000, 0xff000000), DefaultPayloadBits)
+	ht := New(ForFull(3, 9, 1, 0x09000000, 0xff000000), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
-	cw := ecc.Encode(flit.Header{Kind: flit.Single, VC: 1, SrcR: 3, DstR: 9, Mem: 0x09001234}.Encode())
+	cw := ecc.Encode(flit.Default.Encode(flit.Header{Kind: flit.Single, VC: 1, SrcR: 3, DstR: 9, Mem: 0x09001234}))
 	fr := fault.Framing{Head: true, Tail: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -28,7 +28,9 @@ import (
 // (Table I's variants).
 type TargetKind uint8
 
-// Comparator variants, in the paper's order.
+// Comparator variants, in the paper's order. The parenthesised widths are
+// for the paper's default 4x4/concentration-4/4-VC header layout; on other
+// layouts the routing-field variants widen with the id fields (WidthIn).
 const (
 	TargetFull    TargetKind = iota // vc + src + dest + mem (42 bits)
 	TargetDest                      // destination router (4 bits)
@@ -58,19 +60,29 @@ func (k TargetKind) String() string {
 	}
 }
 
-// Width returns the number of compared bits (Section V-A).
-func (k TargetKind) Width() int {
+// Width returns the number of compared bits for the paper's hardware
+// instance (Section V-A, Table I) — the default header layout. This is what
+// the area/power model costs; use WidthIn for other layouts.
+func (k TargetKind) Width() int { return k.WidthIn(flit.Default) }
+
+// WidthIn returns the number of compared bits when the comparator is built
+// against the given header layout: the routing-field variants scale with the
+// layout's id widths, Full spans the layout's contiguous vc+src+dst+mem
+// comparator window.
+func (k TargetKind) WidthIn(l flit.Layout) int {
 	switch k {
 	case TargetFull:
-		return 42
-	case TargetDest, TargetSrc:
-		return 4
+		return int(l.FullBits)
+	case TargetDest:
+		return int(l.DstBits)
+	case TargetSrc:
+		return int(l.SrcBits)
 	case TargetDestSrc:
-		return 8
+		return int(l.SrcBits + l.DstBits)
 	case TargetMem:
-		return 32
+		return int(l.MemBits)
 	case TargetVC:
-		return 2
+		return int(l.VCBits)
 	default:
 		return 0
 	}
@@ -124,14 +136,15 @@ type wireTap struct {
 	want uint
 }
 
-// compile lowers the target into codeword wire taps. The attacker knows the
-// ECC layout, so logical header bits are translated to physical codeword
+// compile lowers the target into codeword wire taps against one concrete
+// header layout. The attacker knows both the header layout and the ECC
+// layout, so logical header bits are translated to physical codeword
 // positions via the ecc data-position map. Only head/single flits carry a
 // header, so the type-field wires are tapped too (they qualify the match);
 // a body flit whose corresponding payload bits happen to look like a
 // matching head flit will falsely trigger the trojan — real collateral the
 // paper's obfuscation analysis also acknowledges.
-func (t Target) compile() []wireTap {
+func (t Target) compile(l flit.Layout) []wireTap {
 	var taps []wireTap
 	field := func(shift, bits uint, val uint64) {
 		for i := uint(0); i < bits; i++ {
@@ -143,46 +156,46 @@ func (t Target) compile() []wireTap {
 	}
 	switch t.Kind {
 	case TargetDest:
-		field(flit.DstShift, flit.DstBits, uint64(t.DstR))
+		field(l.DstShift, l.DstBits, uint64(t.DstR))
 	case TargetSrc:
-		field(flit.SrcShift, flit.SrcBits, uint64(t.SrcR))
+		field(l.SrcShift, l.SrcBits, uint64(t.SrcR))
 	case TargetDestSrc:
-		field(flit.SrcShift, flit.SrcBits, uint64(t.SrcR))
-		field(flit.DstShift, flit.DstBits, uint64(t.DstR))
+		field(l.SrcShift, l.SrcBits, uint64(t.SrcR))
+		field(l.DstShift, l.DstBits, uint64(t.DstR))
 	case TargetVC:
 		mask := t.VCMask
 		if mask == 0 {
-			mask = 3
+			mask = uint8((uint64(1) << l.VCBits) - 1)
 		}
-		for i := uint(0); i < flit.VCBits; i++ {
+		for i := uint(0); i < l.VCBits; i++ {
 			if mask>>i&1 == 0 {
 				continue
 			}
 			taps = append(taps, wireTap{
-				pos:  ecc.DataPosition(int(flit.VCShift + i)),
+				pos:  ecc.DataPosition(int(l.VCShift + i)),
 				want: uint(t.VC>>i) & 1,
 			})
 		}
 	case TargetMem:
-		for i := uint(0); i < flit.MemBits; i++ {
+		for i := uint(0); i < l.MemBits; i++ {
 			if t.MemMask>>i&1 == 0 {
 				continue
 			}
 			taps = append(taps, wireTap{
-				pos:  ecc.DataPosition(int(flit.MemShift + i)),
+				pos:  ecc.DataPosition(int(l.MemShift + i)),
 				want: uint(t.Mem>>i) & 1,
 			})
 		}
 	case TargetFull:
-		field(flit.VCShift, flit.VCBits, uint64(t.VC))
-		field(flit.SrcShift, flit.SrcBits, uint64(t.SrcR))
-		field(flit.DstShift, flit.DstBits, uint64(t.DstR))
-		for i := uint(0); i < flit.MemBits; i++ {
+		field(l.VCShift, l.VCBits, uint64(t.VC))
+		field(l.SrcShift, l.SrcBits, uint64(t.SrcR))
+		field(l.DstShift, l.DstBits, uint64(t.DstR))
+		for i := uint(0); i < l.MemBits; i++ {
 			if t.MemMask>>i&1 == 0 {
 				continue
 			}
 			taps = append(taps, wireTap{
-				pos:  ecc.DataPosition(int(flit.MemShift + i)),
+				pos:  ecc.DataPosition(int(l.MemShift + i)),
 				want: uint(t.Mem>>i) & 1,
 			})
 		}
@@ -236,15 +249,17 @@ type HT struct {
 const DefaultPayloadBits = 8
 
 // New constructs a TASP trojan for the given target with a Y-bit payload
-// counter (Y attackable wires, Y*(Y-1)/2 payload states). Y must be at
-// least 2.
-func New(target Target, yBits int) *HT {
+// counter (Y attackable wires, Y*(Y-1)/2 payload states). The comparator is
+// wired against the given header layout — a trojan fabricated for one
+// substrate taps different physical wires than one for another. Y must be
+// at least 2.
+func New(target Target, yBits int, l flit.Layout) *HT {
 	if yBits < 2 {
 		panic("tasp: payload counter needs at least 2 bits")
 	}
 	h := &HT{
 		target: target,
-		taps:   target.compile(),
+		taps:   target.compile(l),
 		yBits:  yBits,
 	}
 	// Spread the Y attackable wires evenly across the codeword, skewed off

@@ -11,11 +11,11 @@ import (
 
 func headWord(h flit.Header) ecc.Codeword {
 	h.Kind = flit.Single
-	return ecc.Encode(h.Encode())
+	return ecc.Encode(flit.Default.Encode(h))
 }
 
 func TestIdleUntilKillSwitch(t *testing.T) {
-	ht := New(ForDest(5), DefaultPayloadBits)
+	ht := New(ForDest(5), DefaultPayloadBits, flit.Default)
 	cw := headWord(flit.Header{DstR: 5})
 	if got := ht.Inspect(0, cw, fault.Framing{Head: true}); got != cw {
 		t.Fatal("dormant trojan injected a fault")
@@ -45,7 +45,7 @@ func TestIdleUntilKillSwitch(t *testing.T) {
 func TestStrikeIsUncorrectable(t *testing.T) {
 	// The core attack property: every strike flips exactly two bits, which
 	// SECDED detects but cannot correct, forcing a retransmission.
-	ht := New(ForDest(9), DefaultPayloadBits)
+	ht := New(ForDest(9), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
 	cw := headWord(flit.Header{DstR: 9, Mem: 0xabcd})
 	for i := 0; i < 100; i++ {
@@ -64,7 +64,7 @@ func TestStrikeIsUncorrectable(t *testing.T) {
 }
 
 func TestNonTargetPassesUntouched(t *testing.T) {
-	ht := New(ForDest(9), DefaultPayloadBits)
+	ht := New(ForDest(9), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
 	for d := 0; d < 16; d++ {
 		if d == 9 {
@@ -81,12 +81,12 @@ func TestNonTargetPassesUntouched(t *testing.T) {
 }
 
 func TestBodyFlitsNormallyIgnored(t *testing.T) {
-	ht := New(ForDest(9), DefaultPayloadBits)
+	ht := New(ForDest(9), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
 	// A body flit whose payload would match the target but whose type
 	// field says Body (01) must not trigger deep packet inspection.
 	h := flit.Header{Kind: flit.Single, DstR: 9}
-	w := h.Encode()
+	w := flit.Default.Encode(h)
 	w = (w &^ 3) | uint64(flit.Body) // overwrite type bits
 	if got := ht.Inspect(0, ecc.Encode(w), fault.Framing{Head: false}); got != ecc.Encode(w) {
 		t.Fatal("trojan struck a body flit")
@@ -94,7 +94,7 @@ func TestBodyFlitsNormallyIgnored(t *testing.T) {
 }
 
 func TestPayloadStatesShift(t *testing.T) {
-	ht := New(ForDest(3), 4) // 4 wires -> 6 payload states
+	ht := New(ForDest(3), 4, flit.Default) // 4 wires -> 6 payload states
 	if ht.PayloadStates() != 6 {
 		t.Fatalf("payload states %d, want 6", ht.PayloadStates())
 	}
@@ -132,7 +132,7 @@ func TestAllVariantsMatchTheirFlows(t *testing.T) {
 		{"full", ForFull(4, 11, 2, 0x0b000000, 0xff000000), flit.Header{VC: 3, SrcR: 4, DstR: 11, Mem: 0x0b001234}},
 	}
 	for _, tc := range cases {
-		ht := New(tc.target, DefaultPayloadBits)
+		ht := New(tc.target, DefaultPayloadBits, flit.Default)
 		ht.SetKillSwitch(true)
 		hit := headWord(hdr)
 		if ht.Inspect(0, hit, fault.Framing{Head: true}) == hit {
@@ -168,17 +168,17 @@ func TestTargetKindWidths(t *testing.T) {
 
 func TestCompiledTapCountsMatchWidths(t *testing.T) {
 	full := ForFull(1, 2, 3, 0xdead0000, 0xffffffff)
-	if got := len(full.compile()); got != 42 {
+	if got := len(full.compile(flit.Default)); got != 42 {
 		t.Fatalf("full target taps %d wires, want 42", got)
 	}
 	mem := ForMem(0x12340000, 0xffff0000)
-	if got := len(mem.compile()); got != 16 {
+	if got := len(mem.compile(flit.Default)); got != 16 {
 		t.Fatalf("masked mem target taps %d wires, want 16", got)
 	}
 }
 
 func TestStrikeAlwaysTwoFlipsProperty(t *testing.T) {
-	ht := New(ForVC(1), DefaultPayloadBits)
+	ht := New(ForVC(1), DefaultPayloadBits, flit.Default)
 	ht.SetKillSwitch(true)
 	f := func(src, dst uint8, mem uint32) bool {
 		cw := headWord(flit.Header{VC: 1, SrcR: src & 15, DstR: dst & 15, Mem: mem})
@@ -197,5 +197,5 @@ func TestNewPanicsOnTinyCounter(t *testing.T) {
 			t.Fatal("New with 1-bit counter did not panic")
 		}
 	}()
-	New(ForDest(1), 1)
+	New(ForDest(1), 1, flit.Default)
 }
