@@ -3,7 +3,7 @@
 GO ?= go
 DATE ?= $(shell date +%F)
 
-.PHONY: all build vet test race fuzz golden golden-check bench bench-json experiments examples cover clean
+.PHONY: all build vet test lint race fuzz golden golden-check bench bench-json experiments examples cover clean
 
 all: build vet test
 
@@ -15,6 +15,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Static analysis beyond vet. Runs staticcheck when it is on PATH (CI
+# installs it); otherwise falls back to vet alone so the target works in
+# minimal environments.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not on PATH; vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Race-detect the concurrent pieces: the simulator core (one network per
 # goroutine) and the parallel experiment engine.

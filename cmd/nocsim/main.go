@@ -45,6 +45,7 @@ func main() {
 		ber        = flag.Float64("ber", 0, "background transient bit-error rate per link bit")
 		sample     = flag.Int("sample", 100, "occupancy sampling period in cycles")
 		heat       = flag.Bool("map", false, "render an ASCII heatmap of final blocked-port pressure")
+		doLocate   = flag.Bool("locate", false, "run the DoS localization layer and print the ranked suspect links")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	cfg.TransientBER = *ber
 	cfg.Attack.Enabled = *attack
 	cfg.Attack.NumLinks = *links
+	cfg.Locate = *doLocate
 
 	switch *target {
 	case "dest":
@@ -121,6 +123,28 @@ func main() {
 	}
 	if res.ReroutedAt > 0 {
 		fmt.Printf("rerouted at cycle %d\n", res.ReroutedAt)
+	}
+	if *doLocate && len(res.Suspects) > 0 {
+		net, nerr := noc.New(cfg.Noc)
+		if nerr != nil {
+			log.Fatal(nerr)
+		}
+		names := net.Links()
+		fmt.Printf("\nlocalization (top suspects; components det/early/growth/prior):\n")
+		top := len(res.Suspects)
+		if top > 8 {
+			top = 8
+		}
+		for i, s := range res.Suspects[:top] {
+			fmt.Printf("  #%d link %-3d %-22s score=%.3f conf=%.2f  [%.2f %.2f %.2f %.2f]\n",
+				i+1, s.LinkID, names[s.LinkID], s.Score, s.Confidence,
+				s.Det, s.Early, s.Growth, s.Prior)
+		}
+		if len(res.SuspectTrace) > 0 {
+			last := res.SuspectTrace[len(res.SuspectTrace)-1]
+			fmt.Printf("rank-1 trace: %d samples, final verdict link %d at cycle %d\n",
+				len(res.SuspectTrace), last.LinkID, last.Cycle)
+		}
 	}
 	fmt.Printf("\n%-8s %-9s %-9s %-9s %-8s %-8s %-8s\n",
 		"cycle", "input", "output", "injq", "blocked", "allfull", ">50%full")

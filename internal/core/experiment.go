@@ -7,6 +7,7 @@ import (
 	"tasp/internal/detect"
 	"tasp/internal/fault"
 	"tasp/internal/flit"
+	"tasp/internal/locate"
 	"tasp/internal/noc"
 	"tasp/internal/obfe2e"
 	"tasp/internal/qos"
@@ -91,6 +92,13 @@ type ExperimentConfig struct {
 	// DetectorHistory overrides the threat detector's fault-history table
 	// capacity (0 = detect.DefaultHistoryCap). Ablation knob.
 	DetectorHistory int
+
+	// Locate enables the network-level DoS localization layer: the
+	// blocked-port telemetry tap is sampled every SampleEvery cycles and
+	// the locate engine's fused ranking recorded (Results.Suspects and
+	// Results.SuspectTrace). Observation-only — it never perturbs the
+	// simulation.
+	Locate bool
 }
 
 // DefaultExperiment returns the paper's standard protocol: the 64-core mesh,
@@ -166,6 +174,17 @@ type Results struct {
 	// Latency is the end-to-end packet latency distribution over the whole
 	// run (both phases).
 	Latency *stats.Histogram
+
+	// Suspects is the final localization ranking (Locate runs only):
+	// every link, most suspect first, with component scores.
+	Suspects []locate.Suspect
+	// SuspectsTelemetry is the same final ranking under TelemetryWeights —
+	// localization from blocked-port telemetry and structure alone, with
+	// the detector component zeroed (the ROADMAP's harder setting).
+	SuspectsTelemetry []locate.Suspect
+	// SuspectTrace records the rank-1 verdict at every telemetry sample
+	// from attack enable onward — the time-to-localize series.
+	SuspectTrace []locate.TraceSample
 }
 
 // flowMatcher returns the flow filter a target implies: the attacker places
@@ -338,6 +357,27 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 		}
 	})
 
+	// ---- localization layer ----
+	var tel *noc.LinkTelemetry
+	var eng *locate.Engine
+	var evScratch map[int]locate.LinkEvidence
+	if cfg.Locate {
+		tel = net.EnableTelemetry(0)
+		eng = locate.New(net.Topology(), net.Links())
+		evScratch = make(map[int]locate.LinkEvidence, len(wires))
+	}
+	gatherEvidence := func() map[int]locate.LinkEvidence {
+		for id, w := range wires {
+			op := net.LinkOutput(id)
+			evScratch[id] = locate.LinkEvidence{
+				Class:           w.Detector.Classification(),
+				Retransmissions: op.Retransmissions,
+				FlitsSent:       op.FlitsSent,
+			}
+		}
+		return evScratch
+	}
+
 	gen := model.Generator(cfg.Seed)
 	inject := func(core int, p *flit.Packet) bool {
 		if tdm != nil {
@@ -392,6 +432,18 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 				}
 			}
 			res.Samples = append(res.Samples, s)
+			if tel != nil {
+				tel.Sample()
+				if net.Cycle() >= enableAt {
+					ranked := eng.Rank(tel, gatherEvidence())
+					res.SuspectTrace = append(res.SuspectTrace, locate.TraceSample{
+						Cycle:      net.Cycle(),
+						LinkID:     ranked[0].LinkID,
+						Score:      ranked[0].Score,
+						Confidence: ranked[0].Confidence,
+					})
+				}
+			}
 		}
 	}
 
@@ -404,6 +456,10 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 	for _, ht := range trojans {
 		res.HTMatches += ht.Matches
 		res.HTInjections += ht.Injections
+	}
+	if eng != nil {
+		res.Suspects = eng.Rank(tel, gatherEvidence())
+		res.SuspectsTelemetry = eng.RankWeighted(locate.TelemetryWeights(), tel, nil)
 	}
 	for id, w := range wires {
 		res.Obfuscated += w.Obfuscated

@@ -125,11 +125,18 @@ func (d *Detector) OnFault(key FlitKey, syndrome int, obf lob.Choice) Action {
 	r := d.index[key]
 	if r == nil {
 		// "Has this flit or fault been seen before?" — no: record it and
-		// signal retransmission.
+		// signal retransmission. The first observation can already be
+		// obfuscated (attempt 0 replays the flow's logged method, and a
+		// sustained attack can evict a flit's record between its retries);
+		// that evidence feeds TriggerScope and must not be lost.
 		r = &record{key: key}
 		d.insert(r)
 		r.faults = 1
 		r.syndromes = append(r.syndromes, syndrome)
+		if obf.Method != lob.None {
+			r.obfTried++
+			d.granFail[obf.Gran]++
+		}
 		if d.class == Healthy {
 			d.class = Transient
 		}
@@ -199,12 +206,21 @@ func (d *Detector) TriggerScope() string {
 	}
 }
 
-// insert adds a record, evicting the oldest beyond capacity.
+// insert adds a record, evicting the oldest beyond capacity. Eviction
+// copies the survivors down instead of re-slicing (`history = history[1:]`
+// would keep advancing into the backing array, forcing append to reallocate
+// an ever-new array every historyCap inserts under sustained attack); the
+// backing array is allocated once and never grows past historyCap.
 func (d *Detector) insert(r *record) {
+	if d.history == nil {
+		d.history = make([]*record, 0, d.historyCap)
+	}
 	if len(d.history) >= d.historyCap {
 		old := d.history[0]
-		d.history = d.history[1:]
 		delete(d.index, old.key)
+		n := copy(d.history, d.history[1:])
+		d.history[n] = nil // release the evicted pointer
+		d.history = d.history[:n]
 	}
 	d.history = append(d.history, r)
 	d.index[r.key] = r

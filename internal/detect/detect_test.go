@@ -141,6 +141,56 @@ func TestTriggerScopeLocalisation(t *testing.T) {
 	}
 }
 
+// TestTriggerScopeFirstFaultObfuscated is the regression test for the
+// OnFault first-fault path: the first observation of a flit can already be
+// obfuscated (attempt 0 replays the flow's logged method; eviction can erase
+// a flit's record between retries). That failure is granularity evidence and
+// must land in granFail even though the history lookup misses.
+func TestTriggerScopeFirstFaultObfuscated(t *testing.T) {
+	d := New(0)
+	// First observed fault: header-only obfuscation already applied (the
+	// flow's logged method) and defeated — the trigger survives a scrambled
+	// header, so it taps the payload.
+	d.OnFault(key(1, 0), 3, lob.Choice{Method: lob.Scramble, Gran: lob.HeaderOnly})
+	// A later attempt under payload-only obfuscation gets through.
+	d.OnClean(key(1, 0), lob.Choice{Method: lob.Scramble, Gran: lob.PayloadOnly})
+	if got := d.TriggerScope(); got != "payload" {
+		t.Fatalf("scope %q, want payload (first-fault obfuscation evidence dropped?)", got)
+	}
+}
+
+// TestEvictionKeepsMemoryStable asserts the fault-history backing array is
+// allocated once and never grows, no matter how many evictions a sustained
+// attack forces through the table.
+func TestEvictionKeepsMemoryStable(t *testing.T) {
+	const cap_ = 8
+	d := New(cap_)
+	for i := uint64(0); i < cap_; i++ {
+		d.OnFault(key(i, 0), 5, plain)
+	}
+	base := cap(d.history)
+	for i := uint64(cap_); i < 100*cap_; i++ {
+		d.OnFault(key(i, 0), 5, plain)
+	}
+	if d.HistoryLen() != cap_ {
+		t.Fatalf("history len %d, cap %d", d.HistoryLen(), cap_)
+	}
+	if got := cap(d.history); got != base {
+		t.Fatalf("backing array grew: cap %d -> %d after sustained eviction", base, got)
+	}
+	if len(d.index) != cap_ {
+		t.Fatalf("index holds %d keys, want %d", len(d.index), cap_)
+	}
+	// Steady-state insert allocates only the record itself, never the slice.
+	i := uint64(1000)
+	if avg := testing.AllocsPerRun(100, func() {
+		d.OnFault(key(i, 0), 5, plain)
+		i++
+	}); avg > 3 {
+		t.Fatalf("steady-state OnFault averages %.1f allocs, want <= 3", avg)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	d := New(0)
 	d.OnFault(key(1, 0), 3, plain)

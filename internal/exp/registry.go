@@ -149,6 +149,13 @@ func Extensions() []Experiment {
 			}
 			return []Table{t}, nil
 		}},
+		{ID: "locate", Run: func(seed uint64) ([]Table, error) {
+			t, err := AblationLocate(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []Table{t}, nil
+		}},
 	}
 }
 

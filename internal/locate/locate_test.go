@@ -1,0 +1,180 @@
+package locate
+
+import (
+	"testing"
+
+	"tasp/internal/detect"
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+)
+
+func topoLinks(t *testing.T, name string, w, h int) (noc.Topology, []noc.LinkInfo) {
+	t.Helper()
+	cfg := noc.DefaultConfig()
+	cfg.Topo, cfg.Width, cfg.Height = name, w, h
+	n, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Topology(), n.Links()
+}
+
+func TestPriorsMeshHasNoWraparound(t *testing.T) {
+	topo, links := topoLinks(t, "mesh", 4, 4)
+	p := ComputePriors(topo, links)
+	for id, wrap := range p.Wraparound {
+		if wrap {
+			t.Fatalf("mesh link %d (%s) flagged wraparound", id, links[id])
+		}
+	}
+	// XY routing concentrates center-column vertical traffic: the max
+	// fan-in link must score 1 and every link in (0, 1].
+	sawMax := false
+	for id, f := range p.FanIn {
+		if f < 0 || f > 1 {
+			t.Fatalf("fan-in out of range: link %d = %f", id, f)
+		}
+		if f == 1 {
+			sawMax = true
+		}
+	}
+	if !sawMax {
+		t.Fatal("no link with normalized fan-in 1")
+	}
+}
+
+func TestPriorsTorusWraparound(t *testing.T) {
+	topo, links := topoLinks(t, "torus", 4, 4)
+	p := ComputePriors(topo, links)
+	// The torus adds 8 wraparound pairs after the 48 mesh links: 4 east-west
+	// row pairs + 4 north-south column pairs = 16 directed links.
+	var wraps []int
+	for id, w := range p.Wraparound {
+		if w {
+			wraps = append(wraps, id)
+		}
+	}
+	if len(wraps) != 16 {
+		t.Fatalf("torus wraparound links: got %d (%v), want 16", len(wraps), wraps)
+	}
+	for _, id := range wraps {
+		if id < 48 {
+			t.Fatalf("mesh-portion link %d flagged wraparound", id)
+		}
+	}
+}
+
+func TestPriorsRingWraparoundAndBisection(t *testing.T) {
+	topo, links := topoLinks(t, "ring", 4, 4) // 16-router ring
+	p := ComputePriors(topo, links)
+	var wraps []int
+	for id, w := range p.Wraparound {
+		if w {
+			wraps = append(wraps, id)
+		}
+	}
+	// Exactly the modulo closure pair: cw 15->0 and ccw 0->15.
+	if len(wraps) != 2 {
+		t.Fatalf("ring wraparound links: got %v, want the 15<->0 pair", wraps)
+	}
+	for _, id := range wraps {
+		l := links[id]
+		if !(l.From == 15 && l.To == 0) && !(l.From == 0 && l.To == 15) {
+			t.Fatalf("wrong wraparound link: %s", l)
+		}
+	}
+	// Bisection (ids < 8 vs >= 8): the 7<->8 pair and the 15<->0 pair.
+	var cuts []int
+	for id, b := range p.Bisection {
+		if b {
+			cuts = append(cuts, id)
+		}
+	}
+	if len(cuts) != 4 {
+		t.Fatalf("ring bisection links: got %d (%v), want 4", len(cuts), cuts)
+	}
+}
+
+// TestRankWedgedLinkTelemetryOnly wedges one link of a real mesh with a
+// NACK-only wire and checks the engine localizes it from blocked-port
+// telemetry and priors alone — no detector evidence at all.
+func TestRankWedgedLinkTelemetryOnly(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	n, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target noc.LinkInfo
+	for _, l := range n.Links() {
+		if l.From == 1 && l.FromPort == noc.PortWest { // 1 -> 0: dest-0 ingress
+			target = l
+			break
+		}
+	}
+	n.SetWire(target.ID, nackWire{})
+	tel := n.EnableTelemetry(0)
+	for i := 0; i < 1200; i++ {
+		if i%3 == 0 {
+			// Saturate flows that cross the wedged link: east-side routers
+			// sending to router 0.
+			src := []int{4, 8, 12, 20, 24}[i/3%5] // cores on routers 1, 2, 3, 5, 6
+			p := &flit.Packet{Hdr: flit.Header{DstR: 0, VC: uint8(i % 4), Mem: 0x1000}}
+			p.Body = []uint64{1, 2, 3}
+			n.Inject(src, p)
+		}
+		n.Step()
+		if i%25 == 24 {
+			tel.Sample()
+		}
+	}
+	eng := New(n.Topology(), n.Links())
+	ranked := eng.RankWeighted(TelemetryWeights(), tel, nil)
+	if ranked[0].LinkID != target.ID {
+		t.Fatalf("telemetry-only rank-1 = link %d (%s), want wedged link %d (%s); top scores: %+v",
+			ranked[0].LinkID, n.Links()[ranked[0].LinkID], target.ID, target, ranked[:3])
+	}
+	if ranked[0].Confidence <= 0 {
+		t.Fatalf("rank-1 confidence %f, want positive margin", ranked[0].Confidence)
+	}
+}
+
+// nackWire refuses every transmission.
+type nackWire struct{}
+
+func (nackWire) Transmit(_ uint64, f flit.Flit, _ uint8, _ int) (flit.Flit, noc.TxResult) {
+	return f, noc.TxResult{OK: false}
+}
+
+func TestRankDetectorEvidenceDominates(t *testing.T) {
+	topo, links := topoLinks(t, "mesh", 4, 4)
+	eng := New(topo, links)
+	ev := map[int]LinkEvidence{
+		7: {Class: detect.Trojan, Retransmissions: 900, FlitsSent: 100},
+	}
+	ranked := eng.Rank(nil, ev)
+	if ranked[0].LinkID != 7 {
+		t.Fatalf("rank-1 = %d, want the trojan-classified link 7", ranked[0].LinkID)
+	}
+	if ranked[0].Det <= ranked[1].Det {
+		t.Fatal("detector component not discriminating")
+	}
+}
+
+func TestRankIsDeterministic(t *testing.T) {
+	topo, links := topoLinks(t, "torus", 4, 4)
+	eng := New(topo, links)
+	a := eng.Rank(nil, nil)
+	b := eng.Rank(nil, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// With no evidence at all the ordering is the structural prior alone,
+	// ties by id — still a total, stable order.
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Score < a[i].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package noc
+
+import (
+	"testing"
+
+	"tasp/internal/flit"
+)
+
+// healableNackWire NACKs every transmission until healed, then behaves like
+// a perfect link. It models a fault source that stops (e.g. a trojan whose
+// kill switch flips off) after MaxAttempts has already abandoned traffic.
+type healableNackWire struct{ healed bool }
+
+func (w *healableNackWire) Transmit(_ uint64, f flit.Flit, _ uint8, _ int) (flit.Flit, TxResult) {
+	if !w.healed {
+		return f, TxResult{OK: false}
+	}
+	return f, TxResult{OK: true}
+}
+
+// TestTailDropReleasesVCOwnership is the regression test for the MaxAttempts
+// drop path: abandoning a tail flit must release op.vcOwner[vc] (else the VC
+// leaks forever and no later packet can ever allocate it) and must be counted
+// in Counters.DroppedFlits.
+func TestTailDropReleasesVCOwnership(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxAttempts = 2
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target LinkInfo
+	for _, l := range n.Links() {
+		if l.From == 0 && l.FromPort == PortEast {
+			target = l
+			break
+		}
+	}
+	w := &healableNackWire{}
+	n.SetWire(target.ID, w)
+
+	// A single-flit packet is head and tail at once: when the wire NACKs it
+	// to abandonment, the drop retires the whole packet.
+	if !n.Inject(0, pkt(1, 0, 0, 0)) {
+		t.Fatal("inject failed")
+	}
+	n.Run(200)
+	if n.Counters.DeliveredPackets != 0 {
+		t.Fatal("packet delivered through nack wire")
+	}
+	if got := n.Counters.DroppedFlits; got != 1 {
+		t.Fatalf("DroppedFlits = %d after a MaxAttempts tail abandon, want 1", got)
+	}
+	op := n.LinkOutput(target.ID)
+	for v, owner := range op.vcOwner {
+		if owner != 0 {
+			t.Fatalf("vc%d still owned by packet %d after its tail was dropped", v, owner-1)
+		}
+	}
+
+	// The leaked VC was the one the dropped packet held; with the wire healed
+	// a second packet on the same VC must re-allocate it and deliver.
+	w.healed = true
+	if !n.Inject(0, pkt(1, 0, 0, 0)) {
+		t.Fatal("second inject failed")
+	}
+	n.Run(200)
+	if n.Counters.DeliveredPackets != 1 {
+		t.Fatalf("delivered %d packets after the wire healed, want 1 (VC never re-allocatable?)",
+			n.Counters.DeliveredPackets)
+	}
+	if got := n.Counters.DroppedFlits; got != 1 {
+		t.Fatalf("DroppedFlits = %d after recovery, want still 1", got)
+	}
+}

@@ -86,6 +86,9 @@ type Network struct {
 	// baselines partition link bandwidth between domains with it. A nil
 	// schedule admits everything.
 	schedule func(cycle uint64, vc uint8) bool
+
+	// telemetry is the blocked-port tap (nil until EnableTelemetry).
+	telemetry *LinkTelemetry
 }
 
 // New builds a network from the configuration, fully wired with healthy
@@ -378,6 +381,13 @@ func (n *Network) phaseLT(op *outputPort) {
 			if !op.ejection {
 				op.credits[e.vc]++ // release the reserved downstream slot
 			}
+			if e.f.IsTail() {
+				// The packet is done from this output's perspective: release
+				// the VC ownership the head acquired at VA, exactly as a
+				// delivered tail would, or the VC leaks forever.
+				op.vcOwner[e.vc] = 0
+			}
+			n.Counters.DroppedFlits++
 			op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
 			n.routers[op.router].parked--
 		}

@@ -1,0 +1,168 @@
+package noc
+
+import "testing"
+
+func TestTelemetryQuiescentNetworkNeverBlocks(t *testing.T) {
+	n := mkNet(t)
+	tel := n.EnableTelemetry(8)
+	for i := 0; i < 20; i++ {
+		n.Run(25)
+		tel.Sample()
+	}
+	if tel.Samples() != 20 {
+		t.Fatalf("samples %d, want 20", tel.Samples())
+	}
+	for id := 0; id < tel.Links(); id++ {
+		if _, ever := tel.FirstBlocked(id); ever {
+			t.Fatalf("link %d blocked in an idle network", id)
+		}
+		if tel.BlockedFrac(id) != 0 || tel.RecentBlockedFrac(id) != 0 {
+			t.Fatalf("link %d has non-zero blocked fraction in an idle network", id)
+		}
+	}
+}
+
+// TestTelemetryFlagsWedgedLink wedges one link with a persistent NACK wire
+// and checks the tap singles it out: it blocks first, and its blocked
+// fraction dominates the mesh.
+func TestTelemetryFlagsWedgedLink(t *testing.T) {
+	n := mkNet(t)
+	var target LinkInfo
+	for _, l := range n.Links() {
+		if l.From == 1 && l.FromPort == PortWest { // 1 -> 0, dest-0 ingress
+			target = l
+			break
+		}
+	}
+	n.SetWire(target.ID, nackWire{})
+	tel := n.EnableTelemetry(16)
+	// Saturate the wedged link's flows: three-flit packets from router 1's
+	// cores toward router 0.
+	for i := 0; i < 400; i++ {
+		if i%4 == 0 {
+			n.Inject(4, pkt(0, 0, uint8(i%4), 3)) // core 4 lives on router 1
+		}
+		n.Step()
+		if i%10 == 9 {
+			tel.Sample()
+		}
+	}
+	first, ever := tel.FirstBlocked(target.ID)
+	if !ever {
+		t.Fatal("wedged link never sampled blocked")
+	}
+	for id := 0; id < tel.Links(); id++ {
+		if f, ever := tel.FirstBlocked(id); ever && f < first {
+			t.Fatalf("link %d blocked at %d, before the wedged link (%d)", id, f, first)
+		}
+		if id != target.ID && tel.BlockedFrac(id) > tel.BlockedFrac(target.ID) {
+			t.Fatalf("link %d blocked fraction %.2f exceeds the wedged link's %.2f",
+				id, tel.BlockedFrac(id), tel.BlockedFrac(target.ID))
+		}
+	}
+	if tel.RecentBlockedFrac(target.ID) == 0 {
+		t.Fatal("wedged link not blocked in the trailing window")
+	}
+	// The ring's newest retained sample must agree with the aggregate.
+	if blocked, _, ok := tel.BlockedAt(target.ID, 0); !ok || !blocked {
+		t.Fatalf("newest ring sample: blocked=%v ok=%v, want blocked", blocked, ok)
+	}
+}
+
+// TestTelemetrySampleDoesNotAllocate holds the tap to the simulator's
+// steady-state allocation budget: zero allocations per Sample.
+func TestTelemetrySampleDoesNotAllocate(t *testing.T) {
+	n := mkNet(t)
+	n.SetWire(0, nackWire{})
+	tel := n.EnableTelemetry(8)
+	for i := 0; i < 200; i++ {
+		if i%4 == 0 {
+			n.Inject(0, pkt(1, 0, uint8(i%4), 3))
+		}
+		n.Step()
+	}
+	if avg := testing.AllocsPerRun(100, tel.Sample); avg != 0 {
+		t.Fatalf("Sample averages %.2f allocs, want 0", avg)
+	}
+}
+
+func TestTelemetryRingWrapsAndIndexes(t *testing.T) {
+	n := mkNet(t)
+	tel := n.EnableTelemetry(4)
+	for i := 0; i < 10; i++ {
+		n.Step()
+		tel.Sample()
+	}
+	if _, _, ok := tel.BlockedAt(0, 4); ok {
+		t.Fatal("ring retains more rows than its depth")
+	}
+	// Newest row carries the latest sample cycle; oldest retained the
+	// depth-th most recent.
+	if _, cycle, ok := tel.BlockedAt(0, 0); !ok || cycle != n.Cycle() {
+		t.Fatalf("newest row cycle %d ok=%v, want %d", cycle, ok, n.Cycle())
+	}
+	if _, cycle, ok := tel.BlockedAt(0, 3); !ok || cycle != n.Cycle()-3 {
+		t.Fatalf("oldest row cycle %d ok=%v, want %d", cycle, ok, n.Cycle()-3)
+	}
+}
+
+// TestTelemetryOnsetIgnoresTransientBlip is the regression test for the
+// outage-onset estimate: a short congestion blip long before the real outage
+// sets FirstBlocked, but Onset must track the start of the longest sustained
+// streak — the actual outage — not the ancient transient.
+func TestTelemetryOnsetIgnoresTransientBlip(t *testing.T) {
+	n := mkNet(t)
+	var target LinkInfo
+	for _, l := range n.Links() {
+		if l.From == 1 && l.FromPort == PortWest { // 1 -> 0, dest-0 ingress
+			target = l
+			break
+		}
+	}
+	w := &healableNackWire{}
+	n.SetWire(target.ID, w)
+	tel := n.EnableTelemetry(0)
+
+	run := func(cycles int, inject bool) {
+		for i := 0; i < cycles; i++ {
+			if inject && i%4 == 0 {
+				n.Inject(4, pkt(0, 0, uint8(i%4), 3)) // core 4 lives on router 1
+			}
+			n.Step()
+			if i%10 == 9 {
+				tel.Sample()
+			}
+		}
+	}
+
+	// A short blip: the wire NACKs briefly, then heals and the port drains.
+	run(120, true)
+	w.healed = true
+	run(300, false)
+	first, ever := tel.FirstBlocked(target.ID)
+	if !ever {
+		t.Fatal("blip never sampled blocked")
+	}
+	if blocked, _, ok := tel.BlockedAt(target.ID, 0); !ok || blocked {
+		t.Fatal("port did not drain after the wire healed")
+	}
+
+	// The real outage: the wire breaks again, for much longer.
+	w.healed = false
+	outageFrom := n.Cycle()
+	run(500, true)
+
+	onset, ok := tel.Onset(target.ID)
+	if !ok {
+		t.Fatal("no onset for a wedged link")
+	}
+	if onset <= first {
+		t.Fatalf("onset %d not after the transient blip's FirstBlocked %d", onset, first)
+	}
+	if onset < outageFrom {
+		t.Fatalf("onset %d predates the outage (started at %d)", onset, outageFrom)
+	}
+	if tel.OnsetStreak(target.ID) < 10 {
+		t.Fatalf("outage streak %d samples, want a sustained streak", tel.OnsetStreak(target.ID))
+	}
+}
