@@ -53,10 +53,12 @@ bench:
 	$(GO) test -bench=. -benchmem -run xxx ./...
 
 # Snapshot the simulator hot-path benchmarks as machine-readable JSON
-# (BENCH_<date>.json) so the perf trajectory is tracked across PRs.
+# (BENCH_<date>.json) so the perf trajectory is tracked across PRs. Covers
+# the clean Step benches (idle / uniform at 4x4, 8x8, 16x16 / drain) in
+# internal/noc plus the under-attack bench at the repo root.
 bench-json:
-	$(GO) test -bench=NetworkStep -benchmem -run xxx ./internal/noc \
-		| $(GO) run ./cmd/benchjson -label "Network.Step hot path" > BENCH_$(DATE).json
+	$(GO) test -bench=NetworkStep -benchmem -run xxx ./internal/noc . \
+		| $(GO) run ./cmd/benchjson -label "Network.Step hot path (clean + under attack)" > BENCH_$(DATE).json
 	@cat BENCH_$(DATE).json
 
 examples:

@@ -19,9 +19,12 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Pkg is set when the input
+// covers more than one package (e.g. `go test -bench ./internal/noc .`), so
+// same-named benchmarks from different packages stay distinguishable.
 type Benchmark struct {
 	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
 	Runs    int64              `json:"runs"`
 	Metrics map[string]float64 `json:"metrics"`
 }
@@ -43,6 +46,8 @@ func main() {
 	flag.Parse()
 
 	rep := Report{Label: *label}
+	var curPkg string
+	pkgs := map[string]bool{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,7 +60,7 @@ func main() {
 			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			curPkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
@@ -63,6 +68,8 @@ func main() {
 		}
 		b, ok := parseLine(line)
 		if ok {
+			b.Pkg = curPkg
+			pkgs[curPkg] = true
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
@@ -71,6 +78,14 @@ func main() {
 	}
 	if len(rep.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin (run with `go test -bench=... | benchjson`)")
+	}
+	if len(pkgs) == 1 {
+		// Single-package run: keep the top-level Pkg field (back-compatible
+		// with earlier BENCH_<date>.json files) and drop the per-line copies.
+		for i := range rep.Benchmarks {
+			rep.Pkg = rep.Benchmarks[i].Pkg
+			rep.Benchmarks[i].Pkg = ""
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -91,6 +91,29 @@ var (
 	posData [CodewordBits]int
 )
 
+// Precomputed acceleration structures. Encode/Decode sit on the simulator's
+// per-traversal hot path (every link crossing encodes and decodes), so the
+// bit-at-a-time construction is folded into byte-indexed scatter/gather
+// tables plus parity masks evaluated with popcounts. The tables are derived
+// from the same dataPos/posData layout the package exports, so the emitted
+// codewords are bit-for-bit those of the reference construction (the golden
+// matrix model in golden_test.go cross-checks this).
+var (
+	// spreadTab[k][v] scatters byte k of the data word (value v) into its
+	// codeword positions (parallel Lo/Hi planes, so Encode moves words, not
+	// structs).
+	spreadLo [8][256]uint64
+	spreadHi [8][256]uint8
+	// gatherTab[k][v] collects the data bits carried by byte k of the
+	// codeword (byte 8 is the Hi octet).
+	gatherTab [9][256]uint64
+	// chkMask[i] selects every codeword position p >= 1 with bit i set in
+	// its index — the coverage of Hamming check bit 2^i (including the
+	// check position itself, which is zero at encode time).
+	chkMaskLo [7]uint64
+	chkMaskHi [7]uint8
+)
+
 func init() {
 	d := 0
 	for p := 0; p < CodewordBits; p++ {
@@ -105,6 +128,42 @@ func init() {
 	if d != DataBits {
 		panic("ecc: layout produced wrong data width")
 	}
+	for k := 0; k < 8; k++ {
+		for v := 0; v < 256; v++ {
+			var c Codeword
+			for j := 0; j < 8; j++ {
+				if v>>uint(j)&1 == 1 {
+					c = c.Flip(dataPos[k*8+j])
+				}
+			}
+			spreadLo[k][v] = c.Lo
+			spreadHi[k][v] = c.Hi
+		}
+	}
+	for k := 0; k < 9; k++ {
+		for v := 0; v < 256; v++ {
+			var data uint64
+			for j := 0; j < 8; j++ {
+				p := k*8 + j
+				if p < CodewordBits && posData[p] >= 0 && v>>uint(j)&1 == 1 {
+					data |= 1 << uint(posData[p])
+				}
+			}
+			gatherTab[k][v] = data
+		}
+	}
+	for i := 0; i < 7; i++ {
+		for p := 1; p < CodewordBits; p++ {
+			if p&(1<<uint(i)) == 0 {
+				continue
+			}
+			if p < 64 {
+				chkMaskLo[i] |= 1 << uint(p)
+			} else {
+				chkMaskHi[i] |= 1 << uint(p-64)
+			}
+		}
+	}
 }
 
 // DataPosition returns the codeword position that carries data bit d.
@@ -116,46 +175,39 @@ func PositionData(p int) int { return posData[p] }
 
 // Encode computes the SECDED codeword for a 64-bit data word.
 func Encode(data uint64) Codeword {
-	var c Codeword
-	for d := 0; d < DataBits; d++ {
-		if data>>uint(d)&1 == 1 {
-			c = c.Flip(dataPos[d])
-		}
-	}
+	// Scatter the data bytes into their codeword positions.
+	lo := spreadLo[0][data&0xff] | spreadLo[1][data>>8&0xff] |
+		spreadLo[2][data>>16&0xff] | spreadLo[3][data>>24&0xff] |
+		spreadLo[4][data>>32&0xff] | spreadLo[5][data>>40&0xff] |
+		spreadLo[6][data>>48&0xff] | spreadLo[7][data>>56]
+	hi := spreadHi[0][data&0xff] | spreadHi[1][data>>8&0xff] |
+		spreadHi[2][data>>16&0xff] | spreadHi[3][data>>24&0xff] |
+		spreadHi[4][data>>32&0xff] | spreadHi[5][data>>40&0xff] |
+		spreadHi[6][data>>48&0xff] | spreadHi[7][data>>56]
+	c := Codeword{Lo: lo, Hi: hi}
 	// Hamming check bits: check bit at position 2^i covers every position
-	// whose index has bit i set.
+	// whose index has bit i set. The check positions themselves are still
+	// zero here, so the mask parity is exactly the data-coverage parity.
 	for i := 0; i < 7; i++ {
-		pb := 1 << uint(i)
-		var par uint
-		for p := 1; p < CodewordBits; p++ {
-			if p&pb != 0 && p != pb {
-				par ^= c.Bit(p)
-			}
-		}
-		if par == 1 {
-			c = c.Flip(pb)
+		if (bits.OnesCount64(c.Lo&chkMaskLo[i])+bits.OnesCount8(c.Hi&chkMaskHi[i]))&1 == 1 {
+			c = c.Flip(1 << uint(i))
 		}
 	}
-	// Overall parity at position 0 makes total parity even.
-	var par uint
-	for p := 1; p < CodewordBits; p++ {
-		par ^= c.Bit(p)
-	}
-	if par == 1 {
-		c = c.Flip(0)
+	// Overall parity at position 0 makes total parity even (position 0 is
+	// still zero, so whole-word parity equals the parity over 1..71).
+	if (bits.OnesCount64(c.Lo)+bits.OnesCount8(c.Hi))&1 == 1 {
+		c.Lo ^= 1
 	}
 	return c
 }
 
 // extractData gathers the 64 data bits out of a codeword.
 func extractData(c Codeword) uint64 {
-	var data uint64
-	for d := 0; d < DataBits; d++ {
-		if c.Bit(dataPos[d]) == 1 {
-			data |= 1 << uint(d)
-		}
+	data := gatherTab[0][c.Lo&0xff]
+	for k := 1; k < 8; k++ {
+		data |= gatherTab[k][c.Lo>>uint(k*8)&0xff]
 	}
-	return data
+	return data | gatherTab[8][c.Hi]
 }
 
 // Decode checks and, when possible, corrects a received codeword. It returns
@@ -164,24 +216,15 @@ func extractData(c Codeword) uint64 {
 // double-bit errors the syndrome is a nonzero fingerprint of the error pair
 // that the threat detector records in its fault history).
 func Decode(c Codeword) (data uint64, st Status, syndrome int) {
-	// Syndrome: XOR of the indices of all set positions, computed per check.
+	// Syndrome: parity of each check's coverage mask (which includes the
+	// check position itself on the decode side).
 	syn := 0
 	for i := 0; i < 7; i++ {
-		pb := 1 << uint(i)
-		var par uint
-		for p := 1; p < CodewordBits; p++ {
-			if p&pb != 0 {
-				par ^= c.Bit(p)
-			}
-		}
-		if par == 1 {
-			syn |= pb
+		if (bits.OnesCount64(c.Lo&chkMaskLo[i])+bits.OnesCount8(c.Hi&chkMaskHi[i]))&1 == 1 {
+			syn |= 1 << uint(i)
 		}
 	}
-	var overall uint
-	for p := 0; p < CodewordBits; p++ {
-		overall ^= c.Bit(p)
-	}
+	overall := uint(bits.OnesCount64(c.Lo)+bits.OnesCount8(c.Hi)) & 1
 
 	switch {
 	case syn == 0 && overall == 0:

@@ -296,8 +296,14 @@ func (p *Packet) NumFlits() int {
 // packet with no body words becomes a lone Single flit; otherwise a Head flit
 // followed by Body flits with the final one marked Tail.
 func (p *Packet) Flits(l Layout) []Flit {
+	return p.AppendFlits(make([]Flit, 0, p.NumFlits()), l)
+}
+
+// AppendFlits serialises the packet like Flits but appends to the provided
+// slice, letting hot injection paths reuse one scratch buffer instead of
+// allocating per packet.
+func (p *Packet) AppendFlits(out []Flit, l Layout) []Flit {
 	n := p.NumFlits()
-	out := make([]Flit, 0, n)
 	if n == 1 {
 		h := p.Hdr
 		h.Kind = Single

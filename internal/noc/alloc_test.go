@@ -26,6 +26,17 @@ func TestStepAllocationBudget(t *testing.T) {
 		t.Fatal("no traffic delivered; the budget was measured on an idle network")
 	}
 
+	// The loaded path — injection included — must also be allocation-free:
+	// Inject flitises into the network's reusable scratch buffer and the NI
+	// queue rings absorb the copies without growing at steady state.
+	before := n.Counters.DeliveredPackets
+	if avg := testing.AllocsPerRun(2000, func() { load.inject(); n.Step() }); avg > 0.05 {
+		t.Fatalf("steady-state inject+Step allocates %.3f times per cycle; the loaded-path budget is 0", avg)
+	}
+	if n.Counters.DeliveredPackets == before {
+		t.Fatal("no traffic delivered during the loaded-path measurement")
+	}
+
 	// The fully idle network must also be allocation-free (and near-free in
 	// time, via the active-router skip).
 	idle, err := New(DefaultConfig())

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tasp/internal/flit"
 )
@@ -79,6 +80,13 @@ type Network struct {
 	nextPacketID uint64
 	Counters     Counters
 
+	// sched holds the per-phase active sets and global flit counters of
+	// the event-driven core (see sched.go).
+	sched *scheduler
+	// sleepUntil is the next cycle at which any phase can make progress;
+	// Step returns immediately for cycles before it. Zero means awake.
+	sleepUntil uint64
+
 	// refPacketFlits is the packet size used to judge "core full" bins.
 	refPacketFlits int
 
@@ -89,6 +97,11 @@ type Network struct {
 
 	// telemetry is the blocked-port tap (nil until EnableTelemetry).
 	telemetry *LinkTelemetry
+
+	// injScratch is the reusable flitisation buffer of Inject: enqueue
+	// copies the flits into the NI queue, so the scratch never escapes and
+	// the loaded injection path stays allocation-free.
+	injScratch []flit.Flit
 }
 
 // New builds a network from the configuration, fully wired with healthy
@@ -101,6 +114,7 @@ func New(cfg Config) (*Network, error) {
 	n := &Network{cfg: cfg, layout: cfg.Layout(), topo: topo, refPacketFlits: 5}
 	n.route = RouteTable(topo)
 	R := topo.Routers()
+	n.sched = newScheduler(R)
 	for r := 0; r < R; r++ {
 		ports := topo.NumPorts(r)
 		if ports < 2 || ports > MaxPorts {
@@ -109,6 +123,8 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.routers = append(n.routers, newRouter(r, cfg, ports))
 		n.nis = append(n.nis, newNI(r, cfg, n.layout))
+		n.routers[r].sched = n.sched
+		n.nis[r].sched = n.sched
 	}
 	// The dateline VC-class tables (nil on the mesh): each link's output
 	// port gets its own table, vcClass[dst] = the class a packet destined
@@ -161,6 +177,7 @@ func (n *Network) LinkOutput(linkID int) *outputPort {
 // SetWire replaces the Wire of one link (to install a compromised or secured
 // link). It panics on an invalid link id.
 func (n *Network) SetWire(linkID int, w Wire) {
+	n.wakeAll()
 	l := n.links[linkID]
 	n.routers[l.From].outputs[l.FromPort].wire = w
 }
@@ -179,12 +196,13 @@ func (n *Network) Wire(linkID int) Wire {
 // flits of truncated packets are discarded when they reach a buffer front
 // (see phaseRC).
 func (n *Network) DisableLink(linkID int) {
+	n.wakeAll()
 	l := n.links[linkID]
 	r := n.routers[l.From]
 	op := r.outputs[l.FromPort]
 	op.disabled = true
 	n.Counters.DroppedFlits += uint64(len(op.entries))
-	r.parked -= len(op.entries)
+	r.loseParked(len(op.entries))
 	op.entries = op.entries[:0]
 	for v := range op.vcOwner {
 		op.vcOwner[v] = 0
@@ -194,8 +212,11 @@ func (n *Network) DisableLink(linkID int) {
 			ivc := &r.inputs[p][v]
 			if ivc.routed && ivc.route == l.FromPort {
 				dropped := ivc.clear()
+				r.occ &^= 1 << r.occBit(p, v)
+				r.routedTo[l.FromPort] &^= 1 << r.occBit(p, v)
+				r.reqVA &^= 1 << r.occBit(p, v)
 				n.Counters.DroppedFlits += uint64(dropped)
-				r.inFlits -= dropped
+				r.loseIn(dropped)
 				if up := r.ups[p]; up != nil {
 					up.credits[v] += dropped // freed slots
 				}
@@ -214,13 +235,14 @@ func (n *Network) LinkDisabled(linkID int) bool {
 
 // SetRoute replaces the routing function (rerouting baselines install
 // fault-aware tables here) and clears any adaptive function.
-func (n *Network) SetRoute(fn RouteFunc) { n.route, n.adaptive = fn, nil }
+func (n *Network) SetRoute(fn RouteFunc) { n.wakeAll(); n.route, n.adaptive = fn, nil }
 
 // SetAdaptiveRoute installs a turn-model adaptive routing function: at RC
 // time the router picks, among the candidates, the output with the most
 // free downstream credits (ties broken by candidate order, so the first
 // candidate is the deterministic fallback).
 func (n *Network) SetAdaptiveRoute(fn AdaptiveRouteFunc) {
+	n.wakeAll()
 	n.adaptive = fn
 	n.route = func(router, dst int) int {
 		cands := fn(router, dst)
@@ -246,7 +268,10 @@ func (n *Network) SetAdaptiveRoute(fn AdaptiveRouteFunc) {
 // SetLinkSchedule installs a TDM link-admission gate: a router-to-router
 // traversal on virtual channel vc may only happen in cycles for which the
 // schedule returns true. Ejection to the local NI is never gated.
-func (n *Network) SetLinkSchedule(fn func(cycle uint64, vc uint8) bool) { n.schedule = fn }
+func (n *Network) SetLinkSchedule(fn func(cycle uint64, vc uint8) bool) {
+	n.wakeAll()
+	n.schedule = fn
+}
 
 // SetDelivered installs a delivery callback on every NI.
 func (n *Network) SetDelivered(fn func(d Delivery)) {
@@ -263,12 +288,14 @@ func (n *Network) SetRefPacketFlits(flits int) { n.refPacketFlits = flits }
 // assigned here. It returns false (and counts an InjectFailure) when the
 // core's injection queue cannot hold the packet.
 func (n *Network) Inject(core int, p *flit.Packet) bool {
+	n.wakeAll()
 	r := n.cfg.CoreRouter(core)
 	p.Hdr.SrcR = uint8(r)
 	p.Hdr.SrcC = uint8(core % n.cfg.Concentration)
 	p.ID = n.nextPacketID
 	p.Inject = n.cycle
-	fs := p.Flits(n.layout)
+	fs := p.AppendFlits(n.injScratch[:0], n.layout)
+	n.injScratch = fs[:0]
 	if !n.nis[r].enqueue(core%n.cfg.Concentration, fs) {
 		n.Counters.InjectFailures++
 		return false
@@ -286,46 +313,85 @@ func (n *Network) Inject(core int, p *flit.Packet) bool {
 // the local input ports.
 func (n *Network) Step() {
 	n.cycle++
-	// Routers holding no flits at all are skipped: every phase is a no-op
-	// on them (Router.wake repairs their stall clocks when traffic
-	// returns), so a mostly-idle mesh costs ~nothing per cycle.
-	for _, r := range n.routers {
-		if r.inFlits == 0 {
-			continue // SA only ever moves input flits
-		}
-		r.phaseSAST(n.cfg, n.cycle)
+	if n.cycle < n.sleepUntil {
+		// Scheduled quiescence: every phase is provably a no-op until
+		// sleepUntil (see scheduleSleep), so the cycle costs O(1). Stall
+		// clocks are replayed by repairClocks before any observation.
+		return
 	}
-	for _, r := range n.routers {
-		if r.inFlits == 0 {
-			continue
-		}
-		r.phaseVA(n.cfg, n.layout)
-	}
-	for _, r := range n.routers {
-		if r.inFlits == 0 {
-			continue
-		}
-		r.phaseRC(n.route, n.layout, n.cycle, &n.Counters.DroppedFlits)
-	}
-	for _, r := range n.routers {
-		if r.idle() {
-			continue
-		}
-		for p := 0; p < r.numPorts; p++ {
-			n.phaseLT(r.outputs[p])
+	// Each phase iterates only its active set — the routers the old full
+	// sweep would not have skipped — in the same ascending-id order, so
+	// mid-phase interactions (credits returned upstream during SA, flits
+	// deposited downstream during LT) happen exactly as under the sweep.
+	// Per-word snapshots are safe: a phase only clears the bit of the
+	// router it is processing, and a router woken mid-LT by a deposit is a
+	// state no-op if visited (wake already refreshed its clocks).
+	s := n.sched
+	for wi, w := range s.actIn.w {
+		for ; w != 0; w &= w - 1 {
+			n.routers[wi<<6+bits.TrailingZeros64(w)].phaseSAST(n.cfg, n.cycle)
 		}
 	}
-	for i, r := range n.routers {
-		if n.nis[i].total == 0 {
-			continue
+	for wi, w := range s.actIn.w {
+		for ; w != 0; w &= w - 1 {
+			n.routers[wi<<6+bits.TrailingZeros64(w)].phaseVA(n.cfg, n.layout)
 		}
-		n.nis[i].inject(r, n.cycle)
+	}
+	for wi, w := range s.actIn.w {
+		for ; w != 0; w &= w - 1 {
+			n.routers[wi<<6+bits.TrailingZeros64(w)].phaseRC(n.route, n.layout, n.cycle, &n.Counters.DroppedFlits)
+		}
+	}
+	for wi := range s.actOut.w {
+		w := s.actIn.w[wi] | s.actOut.w[wi] // LT also refreshes input-only routers
+		for ; w != 0; w &= w - 1 {
+			r := n.routers[wi<<6+bits.TrailingZeros64(w)]
+			for p := 0; p < r.numPorts; p++ {
+				op := r.outputs[p]
+				if len(op.entries) == 0 {
+					// Entry-free (or disabled, which implies entry-free)
+					// ports only refresh their stall clock; skip the call.
+					if op.disabled || !r.hasWorkFor(p) {
+						op.lastProgress = n.cycle
+					}
+					continue
+				}
+				n.phaseLT(op)
+			}
+		}
+	}
+	for wi, w := range s.actNI.w {
+		for ; w != 0; w &= w - 1 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			n.nis[i].inject(n.routers[i], n.cycle)
+		}
+	}
+	// With no buffered or queued input flits and no TDM gate, the only
+	// future event source is the retransmission buffers: compute the next
+	// event and sleep through the gap.
+	if s.flitsIn == 0 && s.flitsNI == 0 && n.schedule == nil {
+		n.scheduleSleep()
 	}
 }
 
-// Run advances the network by k cycles.
+// Run advances the network by k cycles, fast-forwarding over scheduled
+// quiescent stretches in O(1) instead of stepping through them.
 func (n *Network) Run(k int) {
-	for i := 0; i < k; i++ {
+	target := n.cycle + uint64(k)
+	for n.cycle < target {
+		if n.sleepUntil > n.cycle+1 {
+			// Jump to the last asleep cycle (or the target): the skipped
+			// cycles are exact no-ops, and Step's increment lands on the
+			// first cycle that can make progress.
+			jump := n.sleepUntil - 1
+			if jump > target {
+				jump = target
+			}
+			n.cycle = jump
+			if n.cycle >= target {
+				return
+			}
+		}
 		n.Step()
 	}
 }
@@ -389,7 +455,7 @@ func (n *Network) phaseLT(op *outputPort) {
 			}
 			n.Counters.DroppedFlits++
 			op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
-			n.routers[op.router].parked--
+			n.routers[op.router].loseParked(1)
 		}
 		return
 	}
@@ -417,7 +483,7 @@ func (n *Network) phaseLT(op *outputPort) {
 		}, n.cycle)
 	}
 	op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
-	n.routers[op.router].parked--
+	n.routers[op.router].loseParked(1)
 }
 
 // Occupancy computes the utilisation snapshot the paper plots in Figures 11
@@ -443,6 +509,7 @@ func (n *Network) OccupancyWhere(vcIn func(vc int) bool, coreIn func(core int) b
 	if stall == 0 {
 		stall = 50
 	}
+	n.repairIfAsleep() // make lastProgress exact inside a sleep stretch
 	o := Occupancy{Cycle: n.cycle}
 	for i, r := range n.routers {
 		blocked := false

@@ -34,6 +34,10 @@ type NI struct {
 	rx     map[uint64]*rxState // packet id -> reassembly state
 	rxFree []*rxState          // recycled reassembly states
 
+	// sched is the network's event-driven scheduler; gain/lose (sched.go)
+	// mirror total into its injection active set. Set by Network.New.
+	sched *scheduler
+
 	// Delivered is invoked for each fully reassembled packet. May be nil.
 	Delivered func(d Delivery)
 }
@@ -81,7 +85,7 @@ func (ni *NI) enqueue(core int, fs []flit.Flit) bool {
 		ni.heads[core] = 0
 	}
 	ni.queues[core] = append(q, fs...)
-	ni.total += len(fs)
+	ni.gain(len(fs))
 	return true
 }
 
@@ -136,7 +140,7 @@ func (ni *NI) inject(r *Router, cycle uint64) bool {
 			ni.queues[core] = ni.queues[core][:0]
 			ni.heads[core] = 0
 		}
-		ni.total--
+		ni.lose(1)
 		if f.IsHead() && !f.IsTail() {
 			ni.injLock[v] = core
 		}

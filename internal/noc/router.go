@@ -1,6 +1,10 @@
 package noc
 
-import "tasp/internal/flit"
+import (
+	"math/bits"
+
+	"tasp/internal/flit"
+)
 
 // bufFlit is a buffered flit plus the cycle from which it may compete for
 // switch allocation (models pipeline latency and obfuscation-undo stalls).
@@ -178,7 +182,32 @@ type Router struct {
 	// entirely (the active-router skip: idle routers cost ~nothing).
 	inFlits int
 	parked  int
+
+	// occ is the input-occupancy mask: bit p*vcs+v is set iff input VC
+	// (p, v) holds at least one flit. MaxPorts*MaxVCs = 64, so one word
+	// always suffices; the arbitration scans walk set bits instead of
+	// probing every VC.
+	occ uint64
+	vcs int
+
+	// routedTo[o] masks the input VCs whose resident packet is routed to
+	// output o (bit p*vcs+v, set while inputVC.routed with route == o).
+	// SA scans routedTo[o]&occ — only VCs with flits bound for this exact
+	// output — and hasWorkFor(o) is a single AND.
+	routedTo [MaxPorts]uint64
+	// reqVA masks the input VCs whose front flit is a routed, unallocated
+	// head — precisely the VCs phaseVA can grant. Set when RC routes a
+	// head, cleared when VA allocates it (or the route is invalidated).
+	reqVA uint64
+
+	// sched is the network's event-driven scheduler; the gain/lose
+	// helpers (sched.go) keep its active sets in lockstep with inFlits
+	// and parked. Set by Network.New right after construction.
+	sched *scheduler
 }
+
+// occBit is the occupancy-mask bit index of input VC (port, vc).
+func (r *Router) occBit(port, vc int) uint { return uint(port*r.vcs + vc) }
 
 func newRouter(id int, cfg Config, ports int) *Router {
 	r := &Router{
@@ -187,23 +216,30 @@ func newRouter(id int, cfg Config, ports int) *Router {
 		inputs:   make([][]inputVC, ports),
 		outputs:  make([]*outputPort, ports),
 		ups:      make([]*outputPort, ports),
+		vcs:      cfg.VCs,
 	}
+	// One contiguous block per router for the output ports (and one for
+	// the input VCs, via the [][]inputVC backing): the LT phase walks all
+	// ports of every active router each cycle, and on big substrates the
+	// pointer-per-port layout was a cache miss per port.
+	ops := make([]outputPort, ports)
+	ivcs := make([]inputVC, ports*cfg.VCs)
 	for p := 0; p < ports; p++ {
-		r.inputs[p] = make([]inputVC, cfg.VCs)
+		r.inputs[p] = ivcs[p*cfg.VCs : (p+1)*cfg.VCs : (p+1)*cfg.VCs]
 		for v := range r.inputs[p] {
 			r.inputs[p][v].buf = make([]bufFlit, 0, cfg.BufDepth)
 		}
-		r.outputs[p] = &outputPort{
-			router:  id,
-			port:    p,
-			linkID:  -1,
-			entries: make([]retransEntry, 0, retransCap(cfg)),
-			vcOwner: make([]uint64, cfg.VCs),
-			credits: make([]int, cfg.VCs),
+		op := &ops[p]
+		op.router = id
+		op.port = p
+		op.linkID = -1
+		op.entries = make([]retransEntry, 0, retransCap(cfg))
+		op.vcOwner = make([]uint64, cfg.VCs)
+		op.credits = make([]int, cfg.VCs)
+		for v := range op.credits {
+			op.credits[v] = cfg.BufDepth
 		}
-		for v := range r.outputs[p].credits {
-			r.outputs[p].credits[v] = cfg.BufDepth
-		}
+		r.outputs[p] = op
 	}
 	lp := r.outputs[PortLocal]
 	lp.ejection = true
@@ -232,22 +268,15 @@ func (r *Router) wake(cycle uint64) {
 func (r *Router) deposit(port, vc int, bf bufFlit, cycle uint64) {
 	r.wake(cycle)
 	r.inputs[port][vc].push(bf)
-	r.inFlits++
+	r.occ |= 1 << r.occBit(port, vc)
+	r.gainIn(1)
 }
 
 // hasWorkFor reports whether any input VC holds a flit destined for the
 // given output port — used by the stall detector to distinguish an idle
 // port from a starved one.
 func (r *Router) hasWorkFor(port int) bool {
-	for p := 0; p < r.numPorts; p++ {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			if !ivc.empty() && ivc.routed && ivc.route == port {
-				return true
-			}
-		}
-	}
-	return false
+	return r.routedTo[port]&r.occ != 0
 }
 
 // phaseRC computes routes for head flits that reached the front of their VC
@@ -255,37 +284,46 @@ func (r *Router) hasWorkFor(port int) bool {
 // disabling: heads whose computed route now points at a dead port are
 // re-routed, and orphaned body/tail flits of truncated packets are dropped.
 func (r *Router) phaseRC(route RouteFunc, l flit.Layout, cycle uint64, dropped *uint64) {
-	for p := 0; p < r.numPorts; p++ {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			for {
-				f := ivc.front()
-				if f == nil || f.readyAt > cycle {
-					// Not yet visible to the pipeline: an obfuscated flit
-					// is opaque until L-Ob has undone it (the 1-2 cycle
-					// penalty of Figure 7), so route computation waits.
-					break
-				}
-				if !f.f.IsHead() && !ivc.routed {
-					// Orphan: its head was dropped with a disabled link.
-					ivc.pop()
-					r.inFlits--
-					*dropped++
-					if up := r.ups[p]; up != nil {
-						up.credits[v]++ // freed slot
-					}
-					continue
-				}
-				if f.f.IsHead() && ivc.routed && !ivc.allocated &&
-					r.outputs[ivc.route].disabled {
-					ivc.routed = false // stale route to a dead port
-				}
-				if f.f.IsHead() && !ivc.routed {
-					ivc.route = route(r.id, int(f.f.Header(l).DstR))
-					ivc.routed = true
-				}
+	// Walk only the occupied input VCs, in the same ascending (port, vc)
+	// order as the full sweep (bit index == p*vcs+v is monotone in it).
+	for m := r.occ; m != 0; m &= m - 1 {
+		idx := bits.TrailingZeros64(m)
+		p, v := idx/r.vcs, idx%r.vcs
+		ivc := &r.inputs[p][v]
+		for {
+			f := ivc.front()
+			if f == nil || f.readyAt > cycle {
+				// Not yet visible to the pipeline: an obfuscated flit
+				// is opaque until L-Ob has undone it (the 1-2 cycle
+				// penalty of Figure 7), so route computation waits.
 				break
 			}
+			if !f.f.IsHead() && !ivc.routed {
+				// Orphan: its head was dropped with a disabled link.
+				ivc.pop()
+				r.loseIn(1)
+				*dropped++
+				if up := r.ups[p]; up != nil {
+					up.credits[v]++ // freed slot
+				}
+				continue
+			}
+			if f.f.IsHead() && ivc.routed && !ivc.allocated &&
+				r.outputs[ivc.route].disabled {
+				ivc.routed = false // stale route to a dead port
+				r.routedTo[ivc.route] &^= 1 << uint(idx)
+				r.reqVA &^= 1 << uint(idx)
+			}
+			if f.f.IsHead() && !ivc.routed {
+				ivc.route = route(r.id, int(f.f.Header(l).DstR))
+				ivc.routed = true
+				r.routedTo[ivc.route] |= 1 << uint(idx)
+				r.reqVA |= 1 << uint(idx)
+			}
+			break
+		}
+		if ivc.empty() {
+			r.occ &^= 1 << uint(idx) // drained by the orphan drop
 		}
 	}
 }
@@ -301,23 +339,31 @@ func (r *Router) phaseVA(cfg Config, l flit.Layout) {
 	for o := 0; o < r.numPorts; o++ {
 		op := r.outputs[o]
 		n := r.numPorts * cfg.VCs
-		for k := 0; k < n; k++ {
-			idx := (op.vaPtr + k) % n
-			p, v := idx/cfg.VCs, idx%cfg.VCs
-			ivc := &r.inputs[p][v]
-			f := ivc.front()
-			if f == nil || !f.f.IsHead() || !ivc.routed || ivc.allocated || ivc.route != o {
-				continue
+		// Round-robin over the VCs requesting this output — routed,
+		// unallocated heads bound for o — scanning from vaPtr up, then
+		// wrapping to the bits below it: bit order equals the (vaPtr+k)%n
+		// probe order of a full sweep over the VCs that could be granted.
+		req := r.reqVA & r.routedTo[o]
+		ptr := op.vaPtr % n
+		m, base := req>>uint(ptr), ptr
+		for pass := 0; pass < 2; pass, m, base = pass+1, req&(uint64(1)<<uint(ptr)-1), 0 {
+			for ; m != 0; m &= m - 1 {
+				idx := base + bits.TrailingZeros64(m)
+				p, v := idx/cfg.VCs, idx%cfg.VCs
+				ivc := &r.inputs[p][v]
+				f := ivc.front()
+				ov := op.outVCFor(cfg, v, int(f.f.Header(l).DstR))
+				if op.vcOwner[ov] != 0 {
+					continue // downstream VC held by another packet
+				}
+				op.vcOwner[ov] = f.f.PacketID + 1
+				ivc.allocated = true
+				ivc.outVC = uint8(ov)
+				r.reqVA &^= 1 << uint(idx)
+				op.vaPtr = idx + 1
+				pass = 2 // one VC allocation per output per cycle
+				break
 			}
-			ov := op.outVCFor(cfg, v, int(f.f.Header(l).DstR))
-			if op.vcOwner[ov] != 0 {
-				continue // downstream VC held by another packet
-			}
-			op.vcOwner[ov] = f.f.PacketID + 1
-			ivc.allocated = true
-			ivc.outVC = uint8(ov)
-			op.vaPtr = idx + 1
-			break // one VC allocation per output per cycle
 		}
 	}
 }
@@ -346,59 +392,69 @@ func (r *Router) phaseSAST(cfg Config, cycle uint64) {
 			continue
 		}
 		n := r.numPorts * cfg.VCs
-		for k := 0; k < n; k++ {
-			idx := (op.saPtr + k) % n
-			p, v := idx/cfg.VCs, idx%cfg.VCs
-			if inputUsed[p] {
-				continue
+		// Round-robin over the occupied input VCs routed to this output
+		// (same two-segment mask walk as phaseVA); grants from earlier
+		// output ports have already cleared the bits of drained VCs.
+		req := r.routedTo[o] & r.occ
+		ptr := op.saPtr % n
+		m, base := req>>uint(ptr), ptr
+		for pass := 0; pass < 2; pass, m, base = pass+1, req&(uint64(1)<<uint(ptr)-1), 0 {
+			for ; m != 0; m &= m - 1 {
+				idx := base + bits.TrailingZeros64(m)
+				p, v := idx/cfg.VCs, idx%cfg.VCs
+				if inputUsed[p] {
+					continue
+				}
+				ivc := &r.inputs[p][v]
+				f := ivc.front()
+				if f.readyAt > cycle {
+					continue
+				}
+				if f.f.IsHead() && !ivc.allocated {
+					continue
+				}
+				// Downstream-facing state (credits, retransmission slots,
+				// parked entries) lives in the VA-allocated output VC, which
+				// differs from the input VC index only across dateline links.
+				ov := int(ivc.outVC)
+				if !op.hasSpace(cfg, ov) {
+					continue
+				}
+				// The downstream buffer slot is reserved here, at switch
+				// allocation: a flit never enters the retransmission buffer
+				// without a credit. This keeps the shared post-crossbar
+				// buffer free of credit-starved entries, which would
+				// otherwise create cross-VC dependency cycles and deadlock
+				// the healthy network.
+				if !op.ejection && op.credits[ov] <= 0 {
+					continue
+				}
+				// Grant: traverse the crossbar into the retransmission buffer.
+				fl := ivc.pop()
+				r.loseIn(1)
+				if ivc.empty() {
+					r.occ &^= 1 << uint(idx)
+				}
+				if !op.ejection {
+					op.credits[ov]--
+				}
+				inputUsed[p] = true
+				op.saPtr = idx + 1
+				op.entries = append(op.entries, retransEntry{
+					f: fl, vc: uint8(ov), enqueuedAt: cycle,
+				})
+				r.gainParked(1)
+				if fl.IsTail() {
+					ivc.routed = false
+					ivc.allocated = false
+					r.routedTo[o] &^= 1 << uint(idx)
+				}
+				if up := r.ups[p]; up != nil {
+					up.credits[v]++
+				}
+				pass = 2 // one grant per output port per cycle
+				break
 			}
-			ivc := &r.inputs[p][v]
-			f := ivc.front()
-			if f == nil || f.readyAt > cycle {
-				continue
-			}
-			if !ivc.routed || ivc.route != o {
-				continue
-			}
-			if f.f.IsHead() && !ivc.allocated {
-				continue
-			}
-			// Downstream-facing state (credits, retransmission slots,
-			// parked entries) lives in the VA-allocated output VC, which
-			// differs from the input VC index only across dateline links.
-			ov := int(ivc.outVC)
-			if !op.hasSpace(cfg, ov) {
-				continue
-			}
-			// The downstream buffer slot is reserved here, at switch
-			// allocation: a flit never enters the retransmission buffer
-			// without a credit. This keeps the shared post-crossbar
-			// buffer free of credit-starved entries, which would
-			// otherwise create cross-VC dependency cycles and deadlock
-			// the healthy network.
-			if !op.ejection && op.credits[ov] <= 0 {
-				continue
-			}
-			// Grant: traverse the crossbar into the retransmission buffer.
-			fl := ivc.pop()
-			r.inFlits--
-			if !op.ejection {
-				op.credits[ov]--
-			}
-			inputUsed[p] = true
-			op.saPtr = idx + 1
-			op.entries = append(op.entries, retransEntry{
-				f: fl, vc: uint8(ov), enqueuedAt: cycle,
-			})
-			r.parked++
-			if fl.IsTail() {
-				ivc.routed = false
-				ivc.allocated = false
-			}
-			if up := r.ups[p]; up != nil {
-				up.credits[v]++
-			}
-			break // one grant per output port per cycle
 		}
 	}
 }
