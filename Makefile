@@ -3,7 +3,7 @@
 GO ?= go
 DATE ?= $(shell date +%F)
 
-.PHONY: all build vet test lint race fuzz golden golden-check bench bench-json experiments examples cover clean
+.PHONY: all build vet test lint nocvet race fuzz golden golden-check bench bench-json bench-gate experiments examples cover clean
 
 all: build vet test
 
@@ -17,19 +17,32 @@ test:
 	$(GO) test ./...
 
 # Static analysis beyond vet. Runs staticcheck when it is on PATH (CI
-# installs it); otherwise falls back to vet alone so the target works in
-# minimal environments.
+# installs it); otherwise skips it so the target works in minimal
+# environments. Either way it then runs nocvet, the in-tree analyzer suite
+# that enforces the determinism and hot-path allocation contracts
+# (DESIGN.md §10) — nocvet builds from this module, so it is always
+# available.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not on PATH; vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not on PATH; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+	$(GO) run ./cmd/nocvet ./...
+
+# The in-tree analyzer suite alone (detrange, detsource, hotalloc,
+# telemetrysafe — see DESIGN.md §10).
+nocvet:
+	$(GO) run ./cmd/nocvet ./...
 
 # Race-detect the concurrent pieces: the simulator core (one network per
-# goroutine) and the parallel experiment engine.
+# goroutine), the parallel experiment engine, and the localization layer.
+# The -count=2 passes re-run without the test cache so schedule-dependent
+# interleavings get a second roll of the dice on every invocation.
 race:
 	$(GO) test -race ./internal/noc ./internal/exp
+	$(GO) test -race -count=2 ./internal/locate
+	$(GO) test -race -count=2 -run TestRunAll ./internal/exp
 
 # Fuzz the header Encode/Decode round-trip across randomized layouts.
 fuzz:
@@ -60,6 +73,13 @@ bench-json:
 	$(GO) test -bench=NetworkStep -benchmem -run xxx ./internal/noc . \
 		| $(GO) run ./cmd/benchjson -label "Network.Step hot path (clean + under attack)" > BENCH_$(DATE).json
 	@cat BENCH_$(DATE).json
+
+# The CI allocation gate, runnable locally: every hot-path benchmark a
+# fixed 100 iterations, fail on any nonzero allocs/op, and show ns/op
+# against the latest BENCH_<date>.json baseline.
+bench-gate:
+	$(GO) test -bench=NetworkStep -benchtime=100x -benchmem -run xxx ./internal/noc . \
+		| $(GO) run ./cmd/benchgate
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"tasp"
@@ -115,8 +116,13 @@ func main() {
 		res.Throughput, res.AvgLatency, c.MaxLatency)
 	if len(res.Detections) > 0 {
 		fmt.Printf("detections:\n")
-		for id, cl := range res.Detections {
-			fmt.Printf("  link %d: %s (trigger scope: %s)\n", id, cl, res.TriggerScopes[id])
+		ids := make([]int, 0, len(res.Detections))
+		for id := range res.Detections { //nocvet:orderfree ids are sorted before use
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Printf("  link %d: %s (trigger scope: %s)\n", id, res.Detections[id], res.TriggerScopes[id])
 		}
 		fmt.Printf("obfuscated traversals=%d, undo stall=%d cycles, BIST scans=%d\n",
 			res.Obfuscated, res.StallCycles, res.BISTScans)

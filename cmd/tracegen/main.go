@@ -86,8 +86,10 @@ func main() {
 			fmt.Printf("%s: %d cores, %d routers, %d packets (%d flits) over %d cycles\n",
 				*in, r.Cores, r.Routers, len(evs), flits, last+1)
 			fmt.Printf("hottest destinations:")
-			for d, c := range perDst {
-				if c*8 > len(evs) {
+			// Walk the whole uint8 key space in order instead of ranging
+			// the map: the hot list must print identically run to run.
+			for d := 0; d < 256; d++ {
+				if c := perDst[uint8(d)]; c*8 > len(evs) {
 					fmt.Printf(" r%d(%d)", d, c)
 				}
 			}

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"tasp"
 )
@@ -42,8 +43,15 @@ func main() {
 	}
 	fmt.Printf("mitigated: %.3f packets/cycle (%.0f%% of healthy), detections: %d links\n",
 		sec.Throughput, 100*sec.Throughput/base.Throughput, len(sec.Detections))
-	for id, cl := range sec.Detections {
+	// Print detections in link-id order: map iteration order would make
+	// the example's output differ run to run.
+	ids := make([]int, 0, len(sec.Detections))
+	for id := range sec.Detections { //nocvet:orderfree ids are sorted before use
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		fmt.Printf("  link %d classified %q, trigger localised to the %s\n",
-			id, cl, sec.TriggerScopes[id])
+			id, sec.Detections[id], sec.TriggerScopes[id])
 	}
 }

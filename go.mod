@@ -1,3 +1,9 @@
 module tasp
 
 go 1.22
+
+// Zero third-party dependencies, on purpose — including golang.org/x/tools:
+// the nocvet analyzer suite (internal/analysis, DESIGN.md §10) mirrors the
+// x/tools go/analysis API shape on the standard library's go/parser +
+// go/types, resolving imports from `go list -export` compiler export data,
+// so the module builds and lints offline with nothing but the Go toolchain.

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *Annotations, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "annot_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annots, malformed := ParseAnnotations(fset, []*ast.File{f})
+	return fset, f, annots, malformed
+}
+
+func TestParseAnnotationsPositions(t *testing.T) {
+	src := `package p
+
+//nocvet:orderfree keys sorted later
+var a = 1
+
+var b = 2 //nocvet:allowalloc trailing form, cold path
+
+//nocvet:nondet reason here
+var c = 3
+`
+	fset, _, annots, malformed := parseSrc(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed annotations: %v", malformed)
+	}
+	if got := len(annots.all); got != 3 {
+		t.Fatalf("parsed %d annotations, want 3", got)
+	}
+	wantLines := map[string]int{"orderfree": 3, "allowalloc": 6, "nondet": 8}
+	wantReasons := map[string]string{
+		"orderfree":  "keys sorted later",
+		"allowalloc": "trailing form, cold path",
+		"nondet":     "reason here",
+	}
+	for _, an := range annots.all {
+		if line := fset.Position(an.Pos).Line; line != wantLines[an.Verb] {
+			t.Errorf("%s: parsed at line %d, want %d", an.Verb, line, wantLines[an.Verb])
+		}
+		if an.Reason != wantReasons[an.Verb] {
+			t.Errorf("%s: reason %q, want %q", an.Verb, an.Reason, wantReasons[an.Verb])
+		}
+	}
+}
+
+func TestAnnotationCoversSameLineAndLineBelow(t *testing.T) {
+	src := `package p
+
+//nocvet:orderfree own-line form covers the next line
+var a = 1
+
+var b = 2 //nocvet:allowalloc trailing form covers its own line
+`
+	fset, f, annots, _ := parseSrc(t, src)
+	file := fset.File(f.Pos())
+	// Line 4 (var a) is covered by the annotation on line 3.
+	if annots.at(fset, file.LineStart(4), "orderfree") == nil {
+		t.Error("own-line annotation does not cover the following line")
+	}
+	// Line 6 (var b) is covered by its trailing annotation.
+	if annots.at(fset, file.LineStart(6), "allowalloc") == nil {
+		t.Error("trailing annotation does not cover its own line")
+	}
+	// Verb mismatch never matches.
+	if annots.at(fset, file.LineStart(6), "orderfree") != nil {
+		t.Error("annotation matched the wrong verb")
+	}
+	// Lines further away are not covered.
+	if annots.at(fset, file.LineStart(5), "orderfree") != nil {
+		t.Error("annotation leaked past its line window")
+	}
+}
+
+func TestMalformedAnnotationsReported(t *testing.T) {
+	src := `package p
+
+//nocvet:bogus some reason
+var a = 1
+
+//nocvet:orderfree
+var b = 2
+
+//nocvet:
+var c = 3
+`
+	_, _, annots, malformed := parseSrc(t, src)
+	if len(annots.all) != 0 {
+		t.Errorf("malformed annotations were indexed: %d", len(annots.all))
+	}
+	if len(malformed) != 3 {
+		t.Fatalf("got %d malformed diagnostics, want 3", len(malformed))
+	}
+	for _, want := range []string{`unknown nocvet annotation verb "bogus"`, "requires a reason", `unknown nocvet annotation verb ""`} {
+		found := false
+		for _, d := range malformed {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no malformed diagnostic containing %q", want)
+		}
+	}
+}
+
+func TestUnusedAnnotationsReported(t *testing.T) {
+	src := `package p
+
+//nocvet:orderfree never consulted
+var a = 1
+`
+	fset, f, annots, _ := parseSrc(t, src)
+	if got := len(annots.unused()); got != 1 {
+		t.Fatalf("got %d unused diagnostics, want 1", got)
+	}
+	// Consulting the annotation (as an analyzer would via Pass.Suppressed)
+	// marks it used and clears the unused report.
+	line4 := fset.File(f.Pos()).LineStart(4)
+	if annots.at(fset, line4, "orderfree") == nil {
+		t.Fatal("annotation did not cover the line below it")
+	}
+	if got := len(annots.unused()); got != 0 {
+		t.Fatalf("got %d unused diagnostics after use, want 0", got)
+	}
+}
+
+func TestWantSuffixStrippedFromReason(t *testing.T) {
+	// Fixture files carry analysistest expectations in the same comment;
+	// they must not leak into the reason.
+	src := "package p\n\n//nocvet:orderfree sorted later // want `x`\nvar a = 1\n"
+	_, _, annots, malformed := parseSrc(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", malformed)
+	}
+	if len(annots.all) != 1 || annots.all[0].Reason != "sorted later" {
+		t.Fatalf("reason not stripped of want suffix: %+v", annots.all)
+	}
+}

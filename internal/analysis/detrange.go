@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewDetRange builds the detrange analyzer: `for ... range` over a value of
+// map type in a simulation package is nondeterministic iteration order, the
+// exact bug class that turns into a flaky golden-file diff. The loop is
+// permitted when it binds no variables (a pure counting loop observes no
+// order) or when annotated `//nocvet:orderfree <reason>`. Iterating a
+// sorted key slice is the sanctioned pattern and is naturally not flagged —
+// the range operand is then a slice, not a map.
+func NewDetRange() *Analyzer {
+	a := &Analyzer{
+		Name: "detrange",
+		Doc:  "flags map iteration in simulation packages: order is nondeterministic and leaks straight into golden output",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if rs.Key == nil && rs.Value == nil {
+					// `for range m {}` binds nothing: the body cannot
+					// observe iteration order.
+					return true
+				}
+				if pass.Suppressed(rs.Pos(), "orderfree") {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"nondeterministic iteration over map %s: sort the keys first, or annotate //nocvet:orderfree <reason> if the body is order-insensitive",
+					types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forbiddenCalls lists package-level functions whose results depend on the
+// host rather than the seed. All randomness must flow through
+// internal/xrand (seeded, splittable); all time must be simulation cycles.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock time",
+		"Since":     "wall-clock time",
+		"Until":     "wall-clock time",
+		"Sleep":     "wall-clock scheduling",
+		"After":     "wall-clock scheduling",
+		"Tick":      "wall-clock scheduling",
+		"NewTimer":  "wall-clock scheduling",
+		"NewTicker": "wall-clock scheduling",
+	},
+	"os": {
+		"Getenv":    "host environment",
+		"LookupEnv": "host environment",
+		"Environ":   "host environment",
+	},
+}
+
+// NewDetSource builds the detsource analyzer: it forbids nondeterminism
+// sources in simulation code — importing math/rand (global or not, the
+// seed discipline lives in internal/xrand), reading wall-clock time or the
+// process environment, and multi-case select statements (the runtime picks
+// a ready case pseudo-randomly). `//nocvet:nondet <reason>` is the escape
+// hatch for deliberate uses outside any golden-output path.
+func NewDetSource() *Analyzer {
+	a := &Analyzer{
+		Name: "detsource",
+		Doc:  "forbids nondeterminism sources (math/rand, wall-clock, environment, racy select) in simulation packages",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, im := range f.Imports {
+				path := strings.Trim(im.Path.Value, `"`)
+				if path != "math/rand" && path != "math/rand/v2" {
+					continue
+				}
+				if pass.Suppressed(im.Pos(), "nondet") {
+					continue
+				}
+				pass.Reportf(im.Pos(),
+					"import of %s in simulation code: all randomness must flow through internal/xrand seeds (annotate //nocvet:nondet <reason> only for non-simulation tooling)",
+					path)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectStmt:
+					comms := 0
+					for _, c := range n.Body.List {
+						if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+							comms++
+						}
+					}
+					if comms >= 2 && !pass.Suppressed(n.Pos(), "nondet") {
+						pass.Reportf(n.Pos(),
+							"select with %d comm cases chooses pseudo-randomly among ready cases; simulation code must not race channels (//nocvet:nondet <reason> to override)",
+							comms)
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+					if !ok {
+						return true
+					}
+					why, bad := forbiddenCalls[pn.Imported().Path()][sel.Sel.Name]
+					if !bad || pass.Suppressed(n.Pos(), "nondet") {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"%s.%s reads %s, which is invisible to the seed: simulation results would not reproduce (//nocvet:nondet <reason> to override)",
+						pn.Imported().Path(), sel.Sel.Name, why)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

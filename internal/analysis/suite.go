@@ -1,0 +1,65 @@
+package analysis
+
+import "strings"
+
+// This file is the nocvet policy: which contracts apply where. The driver
+// (cmd/nocvet) and the tests share it so the shipped configuration is
+// itself under test.
+
+// NocHotPathRoots are the simulator entry points whose transitive (static,
+// intra-package) callees must stay allocation-free: the per-cycle pipeline
+// and the injection path. The router phase functions and the NI
+// inject/receive paths are reached from these, so they are covered without
+// being named.
+var NocHotPathRoots = []string{
+	"Network.Step",
+	"Network.Inject",
+	"Network.Run",
+}
+
+// NocProtectedFields is the scheduler state of the event-driven core
+// (DESIGN.md §9): the activity bitmaps and flit counters plus the
+// occupancy/request masks the arbitration scans trust. Every transition
+// must go through the sched.go edge helpers the invariant audit certifies.
+var NocProtectedFields = []ProtectedField{
+	{Type: "Router", Field: "occ"},
+	{Type: "Router", Field: "routedTo"},
+	{Type: "Router", Field: "reqVA"},
+	{Type: "Router", Field: "inFlits"},
+	{Type: "Router", Field: "parked"},
+	{Type: "NI", Field: "total"},
+	{Type: "scheduler", Field: "actIn"},
+	{Type: "scheduler", Field: "actOut"},
+	{Type: "scheduler", Field: "actNI"},
+	{Type: "scheduler", Field: "flitsIn"},
+	{Type: "scheduler", Field: "flitsParked"},
+	{Type: "scheduler", Field: "flitsNI"},
+	{Type: "activeSet", Field: "w"},
+	{Type: "Network", Field: "sleepUntil"},
+}
+
+// NocSchedFiles are the files allowed to mutate NocProtectedFields.
+var NocSchedFiles = []string{"sched.go"}
+
+// simPackage reports whether an import path is simulation code bound by
+// the determinism contracts. Everything in this module feeds the golden
+// files or the seed-determinism tests except the analysis tooling itself —
+// which is still included: nocvet's own output must be deterministic too.
+func simPackage(path string) bool {
+	return path == "tasp" || strings.HasPrefix(path, "tasp/")
+}
+
+// SuiteFor returns the analyzers nocvet runs on one package.
+func SuiteFor(importPath string) []*Analyzer {
+	if !simPackage(importPath) {
+		return nil
+	}
+	suite := []*Analyzer{NewDetRange(), NewDetSource()}
+	if importPath == "tasp/internal/noc" {
+		suite = append(suite,
+			NewHotAlloc(NocHotPathRoots),
+			NewTelemetrySafe(NocProtectedFields, NocSchedFiles),
+		)
+	}
+	return suite
+}

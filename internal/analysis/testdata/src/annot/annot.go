@@ -1,0 +1,32 @@
+// Fixture for the //nocvet:* annotation parser: malformed annotations are
+// reported, never silently honored, and well-formed annotations that
+// suppress nothing are reported as unused.
+package annot
+
+// An unknown verb is a finding, not a silently-ignored comment.
+//
+//nocvet:bogus whatever this was meant to do // want `unknown nocvet annotation verb "bogus"`
+var X = 1
+
+// A missing reason is a finding: escape hatches carry justifications.
+//
+//nocvet:orderfree // want `nocvet:orderfree annotation requires a reason`
+var Y = 2
+
+// A malformed annotation does not suppress: the map range below it is
+// still flagged even though the (reason-less) annotation sits right above.
+func NotSuppressed(m map[int]int) int {
+	s := 0
+	//nocvet:orderfree // want `nocvet:orderfree annotation requires a reason`
+	for _, v := range m { // want `nondeterministic iteration over map`
+		s += v
+	}
+	return s
+}
+
+// A well-formed annotation consulted by no analyzer is unused.
+//
+//nocvet:allowalloc this function is not on any hot path // want `nocvet:allowalloc annotation matches no finding`
+func ColdAllocation() []int {
+	return make([]int, 4)
+}

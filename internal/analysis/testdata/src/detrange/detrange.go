@@ -1,0 +1,61 @@
+// Fixture for the detrange analyzer: map iteration order is
+// nondeterministic, so ranging a map in simulation code is flagged unless
+// the loop provably observes no order or carries an orderfree annotation.
+package detrange
+
+import "sort"
+
+// Flagged: the body observes iteration order (it prints-like accumulates
+// into an order-sensitive slice).
+func Flagged(m map[int]int) []int {
+	var out []int
+	for k, v := range m { // want `nondeterministic iteration over map map\[int\]int`
+		out = append(out, k+v)
+	}
+	return out
+}
+
+// PermittedSorted is the sanctioned pattern: collect the keys (annotated,
+// because the collection itself ranges the map), sort, then iterate the
+// slice — the second loop ranges a slice and is not flagged.
+func PermittedSorted(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m { //nocvet:orderfree keys are sorted before use
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([]string, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PermittedCounting binds no loop variables: no order is observable.
+func PermittedCounting(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// PermittedAnnotated documents an order-insensitive body.
+func PermittedAnnotated(m map[int]int) int {
+	s := 0
+	for _, v := range m { //nocvet:orderfree commutative sum
+		s += v
+	}
+	return s
+}
+
+// Misplaced: an orderfree annotation on a slice range suppresses nothing
+// and is reported instead of being silently honored.
+func Misplaced(xs []int) int {
+	s := 0
+	//nocvet:orderfree slices already iterate in order // want `nocvet:orderfree annotation matches no finding`
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

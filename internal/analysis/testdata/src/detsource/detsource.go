@@ -1,0 +1,45 @@
+// Fixture for the detsource analyzer: nondeterminism sources — math/rand,
+// wall-clock reads, the process environment, racy selects — are forbidden
+// in simulation code; randomness flows through internal/xrand seeds.
+package detsource
+
+import (
+	"math/rand" // want `import of math/rand in simulation code`
+	"os"
+	"time"
+)
+
+// Flagged: the classic trio that silently breaks seed-reproducibility.
+func Flagged() int64 {
+	t := time.Now()       // want `time\.Now reads wall-clock time`
+	_ = os.Getenv("SEED") // want `os\.Getenv reads host environment`
+	d := time.Since(t)    // want `time\.Since reads wall-clock time`
+	return rand.Int63() + int64(d)
+}
+
+// FlaggedSelect: with two ready cases the runtime picks pseudo-randomly.
+func FlaggedSelect(a, b chan int) int {
+	select { // want `select with 2 comm cases chooses pseudo-randomly`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// PermittedSelect: one comm case plus default is a deterministic poll.
+func PermittedSelect(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}
+
+// PermittedAnnotated: a deliberate wall-clock read outside any golden
+// path, documented with the escape hatch.
+func PermittedAnnotated() int64 {
+	//nocvet:nondet tooling timestamp, never feeds golden output
+	return time.Now().Unix()
+}

@@ -1,0 +1,34 @@
+// Fixture for the telemetrysafe analyzer, shaped like internal/noc: this
+// file (sched.go) is the allowed mutation site for scheduler state; any
+// other file must go through the edge helpers defined here.
+package telemetrysafe
+
+type activeSet struct{ w []uint64 }
+
+func (s activeSet) set(i int) { s.w[i>>6] |= 1 << uint(i&63) } // permitted: sched.go
+
+type scheduler struct {
+	actIn   activeSet
+	flitsIn int
+}
+
+// Router mirrors the simulator's protected fields.
+type Router struct {
+	id      int
+	occ     uint64
+	inFlits int
+	sched   *scheduler
+}
+
+// gainIn is a sanctioned edge helper: every mutation below is permitted
+// because it lives in sched.go.
+func (r *Router) gainIn(k int) {
+	if r.inFlits == 0 {
+		r.sched.actIn.set(r.id)
+	}
+	r.inFlits += k
+	r.sched.flitsIn += k
+}
+
+// markOccupied is the sanctioned occupancy-mask transition.
+func (r *Router) markOccupied(idx uint) { r.occ |= 1 << idx }

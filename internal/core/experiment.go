@@ -367,7 +367,7 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 		evScratch = make(map[int]locate.LinkEvidence, len(wires))
 	}
 	gatherEvidence := func() map[int]locate.LinkEvidence {
-		for id, w := range wires {
+		for id, w := range wires { //nocvet:orderfree builds a map keyed by the same id, no order observed
 			op := net.LinkOutput(id)
 			evScratch[id] = locate.LinkEvidence{
 				Class:           w.Detector.Classification(),
@@ -417,7 +417,7 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 			res.ReroutedAt = net.Cycle()
 		}
 		if mitigated && res.FirstTrojanAt == 0 {
-			for _, w := range wires {
+			for _, w := range wires { //nocvet:orderfree existence scan, same FirstTrojanAt whichever wire matches
 				if w.Detector.Classification() == detect.Trojan {
 					res.FirstTrojanAt = net.Cycle()
 					break
@@ -461,7 +461,7 @@ func Run(cfg ExperimentConfig) (*Results, error) {
 		res.Suspects = eng.Rank(tel, gatherEvidence())
 		res.SuspectsTelemetry = eng.RankWeighted(locate.TelemetryWeights(), tel, nil)
 	}
-	for id, w := range wires {
+	for id, w := range wires { //nocvet:orderfree commutative sums and per-id map fills
 		res.Obfuscated += w.Obfuscated
 		res.StallCycles += w.StallCycles
 		res.BISTScans += w.BISTScans

@@ -164,7 +164,7 @@ func AblationDetectorHistory(seed uint64) (Table, error) {
 			return t, err
 		}
 		trojans := 0
-		for _, cl := range res.Detections {
+		for _, cl := range res.Detections { //nocvet:orderfree commutative count
 			if cl.String() == "trojan" {
 				trojans++
 			}

@@ -72,7 +72,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 // sortedKeys returns the sorted keys of a string-keyed map.
 func sortedKeys[V any](m map[string]V) []string {
 	ks := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //nocvet:orderfree keys are sorted before use
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)

@@ -120,7 +120,7 @@ func (f *Figure1) LinkTable() Table {
 		v float64
 	}
 	var all []kv
-	for k, v := range f.LinkShare {
+	for k, v := range f.LinkShare { //nocvet:orderfree pairs are fully sorted (share desc, name asc) before use
 		all = append(all, kv{k, v})
 	}
 	// Hottest first, stable tie-break by name.

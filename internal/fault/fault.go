@@ -87,7 +87,7 @@ type StuckAt struct {
 // NewStuckAt returns a permanent-fault injector with the given stuck wires.
 func NewStuckAt(wires map[int]uint) *StuckAt {
 	cp := make(map[int]uint, len(wires))
-	for p, v := range wires {
+	for p, v := range wires { //nocvet:orderfree builds a map keyed by the same bit position
 		cp[p] = v & 1
 	}
 	return &StuckAt{Wires: cp}
@@ -95,7 +95,7 @@ func NewStuckAt(wires map[int]uint) *StuckAt {
 
 // Inspect implements Injector.
 func (s *StuckAt) Inspect(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword {
-	for p, v := range s.Wires {
+	for p, v := range s.Wires { //nocvet:orderfree independent single-bit flips commute
 		if w.Bit(p) != v {
 			w = w.Flip(p)
 		}

@@ -107,14 +107,23 @@ func ComputePriors(t noc.Topology, links []noc.LinkInfo) Priors {
 	for _, l := range links {
 		byDir[l.FromName] = append(byDir[l.FromName], l.ID)
 	}
-	for _, ids := range byDir {
+	for _, ids := range byDir { //nocvet:orderfree each direction writes only its own links' Wraparound entries
 		strides := map[int]int{}
 		for _, id := range ids {
 			strides[links[id].To-links[id].From]++
 		}
+		// Scan the strides in sorted order: on a count tie with equal
+		// |stride| (e.g. +2 and -2 seen equally often) the winner would
+		// otherwise depend on map iteration order and the wraparound prior
+		// would differ run to run.
+		ss := make([]int, 0, len(strides))
+		for s := range strides { //nocvet:orderfree keys are sorted before use
+			ss = append(ss, s)
+		}
+		sort.Ints(ss)
 		mode, best := 0, -1
-		for s, c := range strides {
-			if c > best || (c == best && iabs(s) < iabs(mode)) {
+		for _, s := range ss {
+			if c := strides[s]; c > best || (c == best && iabs(s) < iabs(mode)) {
 				mode, best = s, c
 			}
 		}

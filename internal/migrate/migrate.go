@@ -115,7 +115,7 @@ func PlanTarget(cfg noc.Config, links []noc.LinkInfo, infected []int, victimPhys
 			continue
 		}
 		min := 1 << 30
-		for h := range hot {
+		for h := range hot { //nocvet:orderfree commutative min over the hot set
 			hx, hy := cfg.XY(h)
 			rx, ry := cfg.XY(r)
 			d := abs(hx-rx) + abs(hy-ry)

@@ -212,9 +212,8 @@ func (n *Network) DisableLink(linkID int) {
 			ivc := &r.inputs[p][v]
 			if ivc.routed && ivc.route == l.FromPort {
 				dropped := ivc.clear()
-				r.occ &^= 1 << r.occBit(p, v)
-				r.routedTo[l.FromPort] &^= 1 << r.occBit(p, v)
-				r.reqVA &^= 1 << r.occBit(p, v)
+				r.clearOccupied(r.occBit(p, v))
+				r.unrouteInput(l.FromPort, r.occBit(p, v))
 				n.Counters.DroppedFlits += uint64(dropped)
 				r.loseIn(dropped)
 				if up := r.ups[p]; up != nil {

@@ -106,6 +106,39 @@ func (ni *NI) lose(k int) {
 	}
 }
 
+// The occupancy/request-mask helpers below are the only mutation points of
+// occ, routedTo and reqVA — the masks the arbitration scans (phaseSAST,
+// phaseVA, hasWorkFor) trust instead of probing buffers. Keeping every
+// transition here (enforced by nocvet's telemetrysafe analyzer) means the
+// brute-force invariant audit certifies every way the masks can change.
+
+// markOccupied sets the occupancy bit of input VC bit index idx (occBit).
+func (r *Router) markOccupied(idx uint) { r.occ |= 1 << idx }
+
+// clearOccupied clears the occupancy bit of a drained input VC.
+func (r *Router) clearOccupied(idx uint) { r.occ &^= 1 << idx }
+
+// routeInput records that the packet resident in input VC idx is routed to
+// output o: SA may now consider it, and its head requests VA.
+func (r *Router) routeInput(o int, idx uint) {
+	r.routedTo[o] |= 1 << idx
+	r.reqVA |= 1 << idx
+}
+
+// unrouteInput invalidates a route (dead output port, dropped packet):
+// the VC neither competes for output o nor requests VA.
+func (r *Router) unrouteInput(o int, idx uint) {
+	r.routedTo[o] &^= 1 << idx
+	r.reqVA &^= 1 << idx
+}
+
+// grantVA retires a VC's VA request after allocation succeeds.
+func (r *Router) grantVA(idx uint) { r.reqVA &^= 1 << idx }
+
+// retireRouted clears a VC's claim on output o when its packet's tail has
+// traversed the crossbar (the route persists only head-to-tail).
+func (r *Router) retireRouted(o int, idx uint) { r.routedTo[o] &^= 1 << idx }
+
 // asleep reports whether the network is inside a scheduled quiescent
 // stretch: cycles before sleepUntil are exact no-ops for every phase.
 func (n *Network) asleep() bool { return n.cycle < n.sleepUntil }

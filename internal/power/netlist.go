@@ -63,7 +63,7 @@ func (b *Block) CellCount(c Cell) int { return b.cells[c] }
 // TotalCells returns the number of cell instances in the whole hierarchy.
 func (b *Block) TotalCells() int {
 	n := 0
-	for _, c := range b.cells {
+	for _, c := range b.cells { //nocvet:orderfree commutative sum
 		n += c
 	}
 	for _, s := range b.Subs {
@@ -75,7 +75,7 @@ func (b *Block) TotalCells() int {
 // Area returns the total silicon area of the hierarchy in um^2.
 func (b *Block) Area() float64 {
 	a := 0.0
-	for c, n := range b.cells {
+	for c, n := range b.cells { //nocvet:orderfree commutative sum
 		a += b.lib[c].Area * float64(n)
 	}
 	for _, s := range b.Subs {
@@ -87,7 +87,7 @@ func (b *Block) Area() float64 {
 // Leakage returns the total static power of the hierarchy in nW.
 func (b *Block) Leakage() float64 {
 	l := 0.0
-	for c, n := range b.cells {
+	for c, n := range b.cells { //nocvet:orderfree commutative sum
 		l += b.lib[c].Leakage * float64(n)
 	}
 	for _, s := range b.Subs {
@@ -101,7 +101,7 @@ func (b *Block) Leakage() float64 {
 // energies in fJ and f in GHz the product is in uW directly.
 func (b *Block) Dynamic(freqGHz float64) float64 {
 	d := 0.0
-	for c, n := range b.cells {
+	for c, n := range b.cells { //nocvet:orderfree commutative sum
 		d += b.lib[c].ToggleFJ * float64(n) * b.Activity * freqGHz
 	}
 	for _, s := range b.Subs {

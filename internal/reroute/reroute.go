@@ -13,6 +13,7 @@ package reroute
 
 import (
 	"fmt"
+	"sort"
 
 	"tasp/internal/noc"
 )
@@ -132,7 +133,14 @@ func Apply(n *noc.Network, disabled map[int]bool) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for id := range disabled {
+	// Disable in link-id order: DisableLink mutates network state (drops
+	// committed traffic), so the mutation order must not follow map order.
+	ids := make([]int, 0, len(disabled))
+	for id := range disabled { //nocvet:orderfree ids are sorted before use
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		if !n.LinkDisabled(id) {
 			n.DisableLink(id)
 		}

@@ -212,7 +212,7 @@ func Algorithms(cfg noc.Config) map[string]noc.AdaptiveRouteFunc {
 		"odd-even":       OddEven,
 	}
 	out := map[string]noc.AdaptiveRouteFunc{}
-	for name, mk := range all {
+	for name, mk := range all { //nocvet:orderfree builds a map keyed by the same name
 		if ValidOn(name, cfg.TopoName()) {
 			out[name] = mk(cfg)
 		}

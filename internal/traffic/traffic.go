@@ -74,7 +74,7 @@ var benchmarks = map[string]struct {
 // Benchmarks returns the available benchmark names, sorted.
 func Benchmarks() []string {
 	names := make([]string, 0, len(benchmarks))
-	for n := range benchmarks {
+	for n := range benchmarks { //nocvet:orderfree keys are sorted before use
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -345,7 +345,7 @@ func LinkLoadsWhere(m *Model, cfg noc.Config, keep func(src, dst int) bool) map[
 			}
 		}
 	}
-	for k := range loads {
+	for k := range loads { //nocvet:orderfree in-place normalisation, each key independent
 		loads[k] /= total
 	}
 	return loads
