@@ -43,6 +43,7 @@ race:
 	$(GO) test -race ./internal/noc ./internal/exp
 	$(GO) test -race -count=2 ./internal/locate
 	$(GO) test -race -count=2 -run TestRunAll ./internal/exp
+	$(GO) test -race -run 'TestWorkerCountInvariance|TestKillResume' ./internal/campaign
 
 # Fuzz the header Encode/Decode round-trip across randomized layouts.
 fuzz:
@@ -76,9 +77,15 @@ bench-json:
 
 # The CI allocation gate, runnable locally: every hot-path benchmark a
 # fixed 100 iterations, fail on any nonzero allocs/op, and show ns/op
-# against the latest BENCH_<date>.json baseline.
+# against the latest BENCH_<date>.json baseline. Covers the per-cycle Step
+# benches (internal/noc, plus under attack at the repo root) and the
+# per-point campaign engine benches (a warmed core.Runner arena in
+# internal/core, the full simulate+fill+encode worker body in
+# internal/campaign) — the steady-state 0 allocs/point contract behind
+# thousand-point sweeps.
 bench-gate:
-	$(GO) test -bench=NetworkStep -benchtime=100x -benchmem -run xxx ./internal/noc . \
+	$(GO) test '-bench=NetworkStep|RunnerPoint|CampaignPoint' -benchtime=100x -benchmem -run xxx \
+		./internal/noc ./internal/core ./internal/campaign . \
 		| $(GO) run ./cmd/benchgate
 
 examples:

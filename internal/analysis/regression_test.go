@@ -101,9 +101,70 @@ func (n *Network) Step() {
 	}
 }
 
+// TestSeededRegressionCampaign plants the campaign engine's canonical
+// contract violations — a per-point allocation inside the worker loop and a
+// writer-cursor mutation outside writer.go — in a campaign-shaped package
+// and proves the shipped internal/campaign configuration flags both. The
+// worker loop's 0 allocs/point contract is what makes thousand-point sweeps
+// run at arena speed; a make() in the loop would silently cost a heap
+// allocation per grid point.
+func TestSeededRegressionCampaign(t *testing.T) {
+	dir := t.TempDir()
+	src := `package campaign
+
+type Record struct {
+	line []byte
+}
+
+type writer struct {
+	next    int
+	written int
+}
+
+func worker(recs []Record, results chan<- []byte) {
+	for i := range recs {
+		buf := make([]byte, 0, 256)
+		buf = append(buf, recs[i].line...)
+		results <- buf
+	}
+}
+
+// commitDirect lives outside writer.go, so advancing the cursor here must
+// be flagged even though it compiles fine.
+func (w *writer) commitDirect() {
+	w.next++
+	w.written = w.next
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "run.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analysis.SuiteFor("tasp/internal/campaign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["hotalloc"] == 0 {
+		t.Errorf("per-point allocation in the worker loop not flagged by hotalloc; got %v", diags)
+	}
+	if byAnalyzer["telemetrysafe"] == 0 {
+		t.Errorf("writer cursor mutation outside writer.go not flagged by telemetrysafe; got %v", diags)
+	}
+}
+
 func TestSuiteFor(t *testing.T) {
 	if got := analysis.SuiteFor("tasp/internal/noc"); len(got) != 4 {
 		t.Errorf("internal/noc suite has %d analyzers, want 4 (detrange, detsource, hotalloc, telemetrysafe)", len(got))
+	}
+	if got := analysis.SuiteFor("tasp/internal/campaign"); len(got) != 4 {
+		t.Errorf("internal/campaign suite has %d analyzers, want 4 (detrange, detsource, hotalloc, telemetrysafe)", len(got))
 	}
 	if got := analysis.SuiteFor("tasp/internal/exp"); len(got) != 2 {
 		t.Errorf("non-noc sim package suite has %d analyzers, want 2 (detrange, detsource)", len(got))

@@ -7,14 +7,15 @@ import "strings"
 // itself under test.
 
 // NocHotPathRoots are the simulator entry points whose transitive (static,
-// intra-package) callees must stay allocation-free: the per-cycle pipeline
-// and the injection path. The router phase functions and the NI
-// inject/receive paths are reached from these, so they are covered without
-// being named.
+// intra-package) callees must stay allocation-free: the per-cycle pipeline,
+// the injection path, and the arena reset the campaign engine calls once
+// per grid point. The router phase functions and the NI inject/receive
+// paths are reached from these, so they are covered without being named.
 var NocHotPathRoots = []string{
 	"Network.Step",
 	"Network.Inject",
 	"Network.Run",
+	"Network.Reset",
 }
 
 // NocProtectedFields is the scheduler state of the event-driven core
@@ -41,6 +42,36 @@ var NocProtectedFields = []ProtectedField{
 // NocSchedFiles are the files allowed to mutate NocProtectedFields.
 var NocSchedFiles = []string{"sched.go"}
 
+// CampaignHotPathRoots are the campaign engine's per-point entry points:
+// the worker loop body and the record fill/encode pair it calls once per
+// grid point. Statically reachable callees (Scenario.Config and the
+// AttackSpec/JSONL helpers) are covered without being named. Amortized
+// appends into recycled storage are annotated at their declarations; the
+// dynamic complement to this static gate is BenchmarkCampaignPoint's
+// 0 allocs/op contract.
+var CampaignHotPathRoots = []string{
+	"worker",
+	"Record.Fill",
+	"Record.AppendJSONL",
+}
+
+// CampaignWriterFields is the in-order writer's shared bookkeeping: the
+// commit cursor, checkpoint counters and the reorder buffer. Workers only
+// ever hand the writer immutable encoded records over a channel; every
+// mutation of this state belongs in writer.go, where the commit/checkpoint
+// pair keeps the sidecar consistent with the bytes on disk.
+var CampaignWriterFields = []ProtectedField{
+	{Type: "writer", Field: "next"},
+	{Type: "writer", Field: "written"},
+	{Type: "writer", Field: "offset"},
+	{Type: "writer", Field: "dirty"},
+	{Type: "writer", Field: "pending"},
+}
+
+// CampaignWriterFiles are the files allowed to mutate CampaignWriterFields.
+// run.go constructs the writer but only reads its cursors afterwards.
+var CampaignWriterFiles = []string{"writer.go"}
+
 // simPackage reports whether an import path is simulation code bound by
 // the determinism contracts. Everything in this module feeds the golden
 // files or the seed-determinism tests except the analysis tooling itself —
@@ -55,10 +86,16 @@ func SuiteFor(importPath string) []*Analyzer {
 		return nil
 	}
 	suite := []*Analyzer{NewDetRange(), NewDetSource()}
-	if importPath == "tasp/internal/noc" {
+	switch importPath {
+	case "tasp/internal/noc":
 		suite = append(suite,
 			NewHotAlloc(NocHotPathRoots),
 			NewTelemetrySafe(NocProtectedFields, NocSchedFiles),
+		)
+	case "tasp/internal/campaign":
+		suite = append(suite,
+			NewHotAlloc(CampaignHotPathRoots),
+			NewTelemetrySafe(CampaignWriterFields, CampaignWriterFiles),
 		)
 	}
 	return suite

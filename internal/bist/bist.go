@@ -55,6 +55,12 @@ func patterns() []ecc.Codeword {
 	return ps
 }
 
+// scanPatterns is the fixed stimulus set, generated once: the scan sits on
+// the detector's reaction path, so a campaign point re-running BIST on every
+// reset arena must not pay pattern-generation allocations per scan. Scan
+// only reads it, so sharing across concurrent workers is safe.
+var scanPatterns = patterns()
+
 // Scan drives the pattern set through the tap and classifies each wire.
 // cycle is the simulation time the scan starts at (patterns advance it by
 // one per traversal, so time-dependent injectors behave naturally).
@@ -63,8 +69,10 @@ func Scan(cycle uint64, tap fault.Injector) Report {
 		drove0, drove1     int // times each value was driven
 		stuckAs0, stuckAs1 int // times the wire read 0/1 while driven opposite
 	}
-	wires := make([]obs, ecc.CodewordBits)
-	ps := patterns()
+	// A fixed-size array keeps the observation table on the stack; the
+	// pattern set is the precomputed package-level stimulus.
+	var wires [ecc.CodewordBits]obs
+	ps := scanPatterns
 	for i, p := range ps {
 		// Patterns are framed as single-flit packets: the worst case for a
 		// framing-aware trojan, which may alias on them and expose itself

@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"tasp/internal/tab"
+)
+
+// ReadRecords decodes a JSONL stream produced by Run.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GroupKey identifies one experimental condition: every grid axis except
+// the seed, which is the replication axis.
+type GroupKey struct {
+	Topology   string
+	Width      int
+	Height     int
+	Benchmark  string
+	Attack     string
+	Mitigation string
+}
+
+func (k GroupKey) String() string {
+	return fmt.Sprintf("%s %dx%d %s attack=%s mit=%s",
+		k.Topology, k.Width, k.Height, k.Benchmark, k.Attack, k.Mitigation)
+}
+
+// Stat is a mean with a 95% confidence interval over seeds (normal
+// approximation; sweeps replicate tens of seeds, where z and t differ by a
+// few percent at most).
+type Stat struct {
+	N        int
+	Mean     float64
+	HalfCI95 float64
+}
+
+func newStat(vals []float64) Stat {
+	s := Stat{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(s.N-1))
+	s.HalfCI95 = 1.96 * sd / math.Sqrt(float64(s.N))
+	return s
+}
+
+// Group is one condition's aggregate over its seeds.
+type Group struct {
+	Key             GroupKey
+	Throughput      Stat
+	AvgLatency      Stat
+	VictimDelivered Stat
+	// First is the group's first record in grid order, for the per-run
+	// fields that are seed-invariant by construction (infected placement,
+	// router count) or reported as a representative sample (blocked
+	// routers).
+	First Record
+}
+
+// Aggregate groups records by condition, in first-appearance (grid) order.
+func Aggregate(records []Record) []Group {
+	index := map[GroupKey]int{}
+	var groups []Group
+	members := map[GroupKey][]Record{}
+	for _, rec := range records {
+		k := GroupKey{rec.Topology, rec.Width, rec.Height, rec.Benchmark, rec.Attack, rec.Mitigation}
+		if _, ok := index[k]; !ok {
+			index[k] = len(groups)
+			groups = append(groups, Group{Key: k, First: rec})
+		}
+		members[k] = append(members[k], rec)
+	}
+	for i := range groups {
+		ms := members[groups[i].Key]
+		col := func(f func(Record) float64) Stat {
+			vals := make([]float64, len(ms))
+			for j, m := range ms {
+				vals[j] = f(m)
+			}
+			return newStat(vals)
+		}
+		groups[i].Throughput = col(func(r Record) float64 { return r.Throughput })
+		groups[i].AvgLatency = col(func(r Record) float64 { return r.AvgLatency })
+		groups[i].VictimDelivered = col(func(r Record) float64 { return float64(r.VictimDelivered) })
+	}
+	return groups
+}
+
+// meanCI renders a stat as "mean" or "mean ±ci".
+func meanCI(s Stat) string {
+	if s.N < 2 || s.HalfCI95 == 0 {
+		return tab.F3(s.Mean)
+	}
+	return fmt.Sprintf("%s ±%s", tab.F3(s.Mean), tab.F3(s.HalfCI95))
+}
+
+// Table renders the generic aggregate: one row per condition with seed
+// count, throughput and latency (mean ±95% CI).
+func Table(groups []Group) tab.Table {
+	t := tab.Table{
+		Title:   "Campaign aggregate (mean ±95% CI over seeds)",
+		Columns: []string{"topology", "dims", "benchmark", "attack", "mitigation", "seeds", "tput", "avg lat", "victim pkts"},
+	}
+	for _, g := range groups {
+		t.Rows = append(t.Rows, []string{
+			g.Key.Topology,
+			fmt.Sprintf("%dx%d", g.Key.Width, g.Key.Height),
+			g.Key.Benchmark,
+			g.Key.Attack,
+			g.Key.Mitigation,
+			fmt.Sprintf("%d", g.Throughput.N),
+			meanCI(g.Throughput),
+			meanCI(g.AvgLatency),
+			meanCI(g.VictimDelivered),
+		})
+	}
+	return t
+}
+
+// CrossTopologyTable renders the paper harness's cross-topology attack
+// table (exp.AblationTopology's exact columns and cell formats) from
+// campaign records. Each topology needs three conditions in the record set:
+// a clean arm (attack none, mitigation none), an attacked arm (attack on,
+// mitigation none) and a defended arm (attack on, mitigation s2s-lob).
+// Single-seed grids reproduce the harness's cells byte-for-byte — the
+// parity check between the two experiment stacks.
+func CrossTopologyTable(records []Record) (tab.Table, error) {
+	t := tab.Table{
+		Title: "Campaign: attack potency and S2S L-Ob mitigation across topologies (Figure 11 protocol per substrate)",
+		Columns: []string{
+			"topology", "infected", "clean tput", "attacked tput", "retained",
+			"l-ob tput", "l-ob retained", "blocked (none)",
+		},
+	}
+	groups := Aggregate(records)
+	type arms struct {
+		clean, attacked, defended *Group
+	}
+	byTopo := map[string]*arms{}
+	var topoOrder []string
+	for i := range groups {
+		g := &groups[i]
+		a := byTopo[g.Key.Topology]
+		if a == nil {
+			a = &arms{}
+			byTopo[g.Key.Topology] = a
+			topoOrder = append(topoOrder, g.Key.Topology)
+		}
+		switch {
+		case g.Key.Attack == "none" && g.Key.Mitigation == "none":
+			a.clean = g
+		case g.Key.Attack != "none" && g.Key.Mitigation == "none":
+			a.attacked = g
+		case g.Key.Attack != "none" && g.Key.Mitigation == "s2s-lob":
+			a.defended = g
+		}
+	}
+	// Rows follow the topologies' first appearance in the records — the
+	// grid's own axis order, matching the harness table's row order when
+	// the spec lists topologies the same way.
+	for _, topo := range topoOrder {
+		a := byTopo[topo]
+		if a.clean == nil || a.attacked == nil || a.defended == nil {
+			return t, fmt.Errorf("topology %s: the cross-topology preset needs clean, attacked and s2s-lob arms", topo)
+		}
+		t.Rows = append(t.Rows, []string{
+			topo,
+			fmt.Sprintf("%v", a.attacked.First.InfectedLinks),
+			tab.F3(a.clean.Throughput.Mean),
+			tab.F3(a.attacked.Throughput.Mean),
+			tab.Pct(a.attacked.Throughput.Mean / a.clean.Throughput.Mean),
+			tab.F3(a.defended.Throughput.Mean),
+			tab.Pct(a.defended.Throughput.Mean / a.clean.Throughput.Mean),
+			fmt.Sprintf("%d/%d", a.attacked.First.BlockedRouters, a.attacked.First.Routers),
+		})
+	}
+	return t, nil
+}

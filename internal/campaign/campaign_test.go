@@ -1,0 +1,288 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSpec is a small but heterogeneous grid: two topologies, two traffic
+// models, attack on/off, two mitigations, two seeds — 32 points, cycles cut
+// down so the whole grid runs in a couple of seconds.
+func testSpec() Spec {
+	return Spec{
+		Topologies:  []string{"mesh", "ring"},
+		Benchmarks:  []string{"blackscholes", "fft"},
+		Attacks:     []AttackSpec{{Kind: "none"}, {Kind: "dest"}},
+		Mitigations: []string{"none", "s2s-lob"},
+		Seeds:       []uint64{1, 2},
+		Warmup:      150,
+		Measure:     150,
+	}
+}
+
+func runToBytes(t *testing.T, spec Spec, opt Options) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "out.jsonl")
+	n, err := Run(context.Background(), spec, out, opt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != spec.Size() {
+		t.Fatalf("run wrote %d records, grid has %d points", n, spec.Size())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGridExpansion pins the canonical expansion order and size.
+func TestGridExpansion(t *testing.T) {
+	spec := testSpec()
+	scenarios := spec.Expand()
+	if len(scenarios) != 32 || spec.Size() != 32 {
+		t.Fatalf("expected 32 points, got %d (Size %d)", len(scenarios), spec.Size())
+	}
+	// Seeds innermost, then mitigations, attacks, benchmarks, topologies.
+	if scenarios[0].Seed != 1 || scenarios[1].Seed != 2 {
+		t.Errorf("seeds are not the innermost axis: %+v %+v", scenarios[0], scenarios[1])
+	}
+	if scenarios[0].Mitigation != "none" || scenarios[2].Mitigation != "s2s-lob" {
+		t.Errorf("mitigations should advance after seeds: %+v", scenarios[2])
+	}
+	if scenarios[0].Topology != "mesh" || scenarios[16].Topology != "ring" {
+		t.Errorf("topologies should be the outermost axis: %+v", scenarios[16])
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec should validate: %v", err)
+	}
+	bad := spec
+	bad.Mitigations = []string{"firewall"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown mitigation should fail validation")
+	}
+}
+
+// TestParseSpecRejectsUnknownFields guards against typo'd axes silently
+// running the default grid.
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"topolgies": ["mesh"]}`)); err == nil {
+		t.Fatal("misspelled axis should be rejected")
+	}
+	s, err := ParseSpec([]byte(`{"topologies": ["mesh"], "seed_count": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("want 3 points, got %d", s.Size())
+	}
+}
+
+// TestWorkerCountInvariance is the campaign determinism contract: the same
+// grid produces byte-identical JSONL at any worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	spec := testSpec()
+	ref := runToBytes(t, spec, Options{Workers: 1})
+	if len(ref) == 0 {
+		t.Fatal("no output")
+	}
+	for _, workers := range []int{4, 8} {
+		got := runToBytes(t, spec, Options{Workers: workers})
+		if !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d output differs from workers=1 (%d vs %d bytes)", workers, len(got), len(ref))
+		}
+	}
+}
+
+// TestRecordRoundTrip checks the hand-rolled encoder against encoding/json:
+// every line must decode back to the record the worker produced.
+func TestRecordRoundTrip(t *testing.T) {
+	spec := testSpec()
+	data := runToBytes(t, spec, Options{Workers: 4})
+	records, err := ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(records) != spec.Size() {
+		t.Fatalf("decoded %d records, want %d", len(records), spec.Size())
+	}
+	for i, rec := range records {
+		if rec.Index != i {
+			t.Fatalf("record %d has index %d: output is not in grid order", i, rec.Index)
+		}
+		// Re-encode through both encoders: the manual one must agree with
+		// encoding/json on content.
+		var std Record
+		line := rec.AppendJSONL(nil)
+		if err := json.Unmarshal(line, &std); err != nil {
+			t.Fatalf("record %d: re-encode: %v", i, err)
+		}
+		if !reflect.DeepEqual(rec, std) {
+			t.Fatalf("record %d corrupted by re-encode:\n%+v\n%+v", i, rec, std)
+		}
+	}
+	// The attacked mesh arms must actually show the attack.
+	saw := false
+	for _, rec := range records {
+		if rec.Attack == "dest" && rec.Mitigation == "none" && rec.Topology == "mesh" && rec.HTInjections > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("no attacked mesh record shows trojan injections")
+	}
+}
+
+// TestKillResumeByteIdentical kills a sweep mid-run (via context
+// cancellation from the record hook), resumes it, and requires the
+// concatenated output to be byte-identical to an uninterrupted run — at
+// several worker counts and kill points.
+func TestKillResumeByteIdentical(t *testing.T) {
+	spec := testSpec()
+	ref := runToBytes(t, spec, Options{Workers: 1})
+	for _, workers := range []int{1, 4, 8} {
+		for _, killAfter := range []int{3, 17} {
+			out := filepath.Join(t.TempDir(), "out.jsonl")
+			ctx, cancel := context.WithCancel(context.Background())
+			n, err := Run(ctx, spec, out, Options{
+				Workers:         workers,
+				CheckpointEvery: 5,
+				OnRecord: func(written int) {
+					if written >= killAfter {
+						cancel()
+					}
+				},
+			})
+			cancel()
+			if err == nil {
+				t.Fatalf("workers=%d kill=%d: cancelled run reported success after %d records", workers, killAfter, n)
+			}
+			ck, ok, err := ReadCheckpoint(CheckpointPath(out))
+			if err != nil || !ok {
+				t.Fatalf("workers=%d kill=%d: no checkpoint after kill: %v", workers, killAfter, err)
+			}
+			if ck.Written < killAfter {
+				t.Fatalf("workers=%d kill=%d: checkpoint written=%d below the kill point", workers, killAfter, ck.Written)
+			}
+			if workers == 1 && ck.Written >= spec.Size() {
+				// With one worker, in-flight work past the kill point is
+				// bounded, so the run must genuinely have stopped early.
+				t.Fatalf("workers=1 kill=%d: run completed despite cancellation", killAfter)
+			}
+			// Simulate the kill happening after more bytes hit the file than
+			// the checkpoint committed: append garbage that the resume's
+			// truncation must discard.
+			f, err := os.OpenFile(out, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(`{"index":9999,"torn`); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			n, err = Run(context.Background(), spec, out, Options{
+				Workers: workers,
+				Resume:  true,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d kill=%d: resume: %v", workers, killAfter, err)
+			}
+			if n != spec.Size() {
+				t.Fatalf("workers=%d kill=%d: resume finished at %d/%d records", workers, killAfter, n, spec.Size())
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Errorf("workers=%d kill=%d: resumed output differs from uninterrupted run", workers, killAfter)
+			}
+		}
+	}
+}
+
+// TestResumeGuards pins the failure modes: resuming without a checkpoint,
+// or against a different spec, must fail loudly.
+func TestResumeGuards(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.jsonl")
+	spec := testSpec()
+	if _, err := Run(context.Background(), spec, out, Options{Workers: 2, Resume: true}); err == nil {
+		t.Fatal("resume without a checkpoint should fail")
+	}
+	if _, err := Run(context.Background(), spec, out, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.Seeds = []uint64{7}
+	if _, err := Run(context.Background(), other, out, Options{Workers: 2, Resume: true}); err == nil {
+		t.Fatal("resume with a different spec should fail")
+	}
+	// Resuming a finished run is a no-op that keeps the bytes intact.
+	before, _ := os.ReadFile(out)
+	n, err := Run(context.Background(), spec, out, Options{Workers: 2, Resume: true})
+	if err != nil || n != spec.Size() {
+		t.Fatalf("resume of finished run: n=%d err=%v", n, err)
+	}
+	after, _ := os.ReadFile(out)
+	if !bytes.Equal(before, after) {
+		t.Error("resume of a finished run modified the output")
+	}
+}
+
+// TestAggregate checks grouping, CI math and both table renderings.
+func TestAggregate(t *testing.T) {
+	spec := testSpec()
+	data := runToBytes(t, spec, Options{Workers: 4})
+	records, err := ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Aggregate(records)
+	if len(groups) != 16 {
+		t.Fatalf("32 records over 2 seeds should give 16 groups, got %d", len(groups))
+	}
+	for _, g := range groups {
+		if g.Throughput.N != 2 {
+			t.Fatalf("group %s has %d seeds, want 2", g.Key, g.Throughput.N)
+		}
+		if g.Throughput.Mean <= 0 {
+			t.Errorf("group %s has non-positive throughput", g.Key)
+		}
+	}
+	rendered := Table(groups).Render()
+	if !strings.Contains(rendered, "blackscholes") || !strings.Contains(rendered, "s2s-lob") {
+		t.Errorf("generic table missing expected cells:\n%s", rendered)
+	}
+	// Cross-topology preset over a single-seed grid with the three arms.
+	xt := Spec{
+		Topologies:  []string{"mesh", "torus", "ring"},
+		Benchmarks:  []string{"blackscholes"},
+		Attacks:     []AttackSpec{{Kind: "none"}, {Kind: "dest"}},
+		Mitigations: []string{"none", "s2s-lob"},
+		Seeds:       []uint64{1},
+		Warmup:      150,
+		Measure:     150,
+	}
+	xdata := runToBytes(t, xt, Options{Workers: 4})
+	xrecords, err := ReadRecords(bytes.NewReader(xdata))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := CrossTopologyTable(xrecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 || table.Rows[0][0] != "mesh" || table.Rows[1][0] != "torus" || table.Rows[2][0] != "ring" {
+		t.Fatalf("cross-topology rows wrong:\n%s", table.Render())
+	}
+	if _, err := CrossTopologyTable(xrecords[:2]); err == nil {
+		t.Error("missing arms should be an error")
+	}
+}

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// Checkpoint records how much of a sweep's output is committed. Written
+// counts whole records; Offset is the output file's byte length at that
+// point. A resume truncates the output to Offset — discarding any partial
+// record from the kill — and continues at point Written, which is what
+// makes the concatenation byte-identical to an uninterrupted run.
+type Checkpoint struct {
+	SpecHash uint64 `json:"spec_hash"`
+	Written  int    `json:"written"`
+	Offset   int64  `json:"offset"`
+}
+
+// CheckpointPath is the sidecar path for an output file.
+func CheckpointPath(outPath string) string { return outPath + ".ckpt" }
+
+// ReadCheckpoint loads a checkpoint sidecar; ok is false when none exists.
+func ReadCheckpoint(path string) (ck Checkpoint, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("corrupt checkpoint %s: %w", path, err)
+	}
+	return ck, true, nil
+}
+
+// writeCheckpoint commits a checkpoint atomically (write temp, rename), so
+// a kill during checkpointing leaves either the old or the new sidecar,
+// never a torn one.
+func writeCheckpoint(path string, ck Checkpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,55 @@
+package campaign_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tasp/internal/campaign"
+	"tasp/internal/exp"
+)
+
+// TestCrossTopologyParityWithHarness proves the two experiment stacks agree:
+// a campaign sweep of the Figure 11 protocol (full 1500/1500 cycles, seed 1)
+// aggregated with the cross-topology preset must reproduce the hand-written
+// exp.AblationTopology table cell-for-cell. This is the guarantee that lets
+// EXPERIMENTS.md numbers be regenerated from either stack.
+func TestCrossTopologyParityWithHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-protocol parity run")
+	}
+	spec := campaign.Spec{
+		Topologies:  []string{"mesh", "torus", "ring"},
+		Benchmarks:  []string{"blackscholes"},
+		Attacks:     []campaign.AttackSpec{{Kind: "none"}, {Kind: "dest"}},
+		Mitigations: []string{"none", "s2s-lob"},
+		Seeds:       []uint64{1},
+	}
+	out := filepath.Join(t.TempDir(), "xt.jsonl")
+	if _, err := campaign.Run(context.Background(), spec, out, campaign.Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := campaign.ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := campaign.CrossTopologyTable(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.AblationTopology(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("campaign aggregate diverged from the harness table:\ncampaign:\n%s\nharness:\n%s",
+			got.Render(), want.Render())
+	}
+}

@@ -1,0 +1,140 @@
+// Package campaign is the declarative experiment layer over the core
+// engine: scenario grids expanded from a spec, sharded across a pool of
+// workers that each own a reusable simulation arena (core.Runner), streamed
+// to JSONL with periodic checkpoints so a killed sweep resumes
+// byte-identically, and aggregated into the same plain-text tables the
+// hand-written harnesses render.
+//
+// Determinism contract: a grid's JSONL output is a pure function of the
+// spec — the same bytes at any worker count, and across kill/resume.
+package campaign
+
+import (
+	"fmt"
+
+	"tasp/internal/core"
+	"tasp/internal/tasp"
+)
+
+// AttackSpec declares the trojan deployment for a scenario, in plain
+// serialisable terms (kinds and numbers rather than core types).
+type AttackSpec struct {
+	// Kind selects the comparator target: "none" (attack disabled), "dest",
+	// "src", "dest-src", "vc", "mem" or "full".
+	Kind string `json:"kind"`
+	// Dest/Src/VC parameterise the routing-field kinds (Dest doubles as the
+	// victim router for "full"). The zero values target router 0 — the
+	// primary core of most benchmarks, matching core.DefaultExperiment.
+	Dest int `json:"dest,omitempty"`
+	Src  int `json:"src,omitempty"`
+	VC   int `json:"vc,omitempty"`
+	// Mem/MemMask define the address window for "mem" and "full".
+	Mem     uint32 `json:"mem,omitempty"`
+	MemMask uint32 `json:"mem_mask,omitempty"`
+	// NumLinks is how many optimally-placed links the attacker infects
+	// (0 = the protocol default of 2).
+	NumLinks int `json:"num_links,omitempty"`
+	// YBits is the trojan's payload-counter width (0 = tasp default).
+	YBits int `json:"y_bits,omitempty"`
+}
+
+// Name is the attack's identity in records and aggregation group keys.
+func (a AttackSpec) Name() string {
+	if a.Kind == "" || a.Kind == "none" {
+		return "none"
+	}
+	return a.Kind
+}
+
+// target resolves the declared kind to a comparator target. Disabled
+// attacks keep the dest target so the victim-goodput accounting (and hence
+// the record bytes) match an enabled run's control arm exactly.
+func (a AttackSpec) target() (tasp.Target, bool, error) {
+	switch a.Kind {
+	case "", "none":
+		return tasp.ForDest(uint8(a.Dest)), false, nil
+	case "dest":
+		return tasp.ForDest(uint8(a.Dest)), true, nil
+	case "src":
+		return tasp.ForSrc(uint8(a.Src)), true, nil
+	case "dest-src":
+		return tasp.ForDestSrc(uint8(a.Src), uint8(a.Dest)), true, nil
+	case "vc":
+		return tasp.ForVC(uint8(a.VC)), true, nil
+	case "mem":
+		return tasp.ForMem(a.Mem, a.MemMask), true, nil
+	case "full":
+		return tasp.ForFull(uint8(a.Src), uint8(a.Dest), uint8(a.VC), a.Mem, a.MemMask), true, nil
+	default:
+		// Unreachable in a sweep: Spec.Validate lowers every point up front.
+		return tasp.Target{}, false, fmt.Errorf("unknown attack kind %q", a.Kind) //nocvet:allowalloc error path aborts the sweep
+	}
+}
+
+// Scenario is one declarative experiment point: everything a simulation run
+// needs, in serialisable form. Config lowers it to the core engine's terms.
+type Scenario struct {
+	// Topology is the substrate name ("" = mesh); Width x Height routers.
+	Topology string `json:"topology,omitempty"`
+	Width    int    `json:"width,omitempty"`  // 0 = 4
+	Height   int    `json:"height,omitempty"` // 0 = 4
+	// Benchmark is the traffic model name.
+	Benchmark string `json:"benchmark"`
+	Seed      uint64 `json:"seed"`
+	// Warmup/Measure are the protocol phases in cycles (0 = paper's 1500).
+	Warmup  int `json:"warmup,omitempty"`
+	Measure int `json:"measure,omitempty"`
+
+	Attack AttackSpec `json:"attack"`
+	// Mitigation is the defence name (core.Mitigation.String; "" = none).
+	Mitigation string `json:"mitigation,omitempty"`
+	// Locate enables the localization engine (per-point cost; off in sweeps
+	// unless the sweep is about localization).
+	Locate bool `json:"locate,omitempty"`
+	// TransientBER adds background single-event upsets.
+	TransientBER float64 `json:"transient_ber,omitempty"`
+}
+
+// Config lowers the scenario to a core experiment configuration. The
+// defaults mirror core.DefaultExperiment, so a zero-valued scenario with
+// just a benchmark runs the paper's standard protocol.
+func (s Scenario) Config() (core.ExperimentConfig, error) {
+	cfg := core.DefaultExperiment()
+	cfg.Noc.Topo = s.Topology
+	if s.Width > 0 {
+		cfg.Noc.Width = s.Width
+	}
+	if s.Height > 0 {
+		cfg.Noc.Height = s.Height
+	}
+	if s.Benchmark != "" {
+		cfg.Benchmark = s.Benchmark
+	}
+	cfg.Seed = s.Seed
+	if s.Warmup > 0 {
+		cfg.Warmup = s.Warmup
+	}
+	if s.Measure > 0 {
+		cfg.Measure = s.Measure
+	}
+	target, enabled, err := s.Attack.target()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Attack.Enabled = enabled
+	cfg.Attack.Target = target
+	if s.Attack.NumLinks > 0 {
+		cfg.Attack.NumLinks = s.Attack.NumLinks
+	}
+	cfg.Attack.YBits = s.Attack.YBits
+	if s.Mitigation != "" {
+		m, err := core.ParseMitigation(s.Mitigation)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Mitigation = m
+	}
+	cfg.Locate = s.Locate
+	cfg.TransientBER = s.TransientBER
+	return cfg, nil
+}

@@ -5,11 +5,8 @@ import (
 	"sort"
 
 	"tasp/internal/detect"
-	"tasp/internal/fault"
-	"tasp/internal/flit"
 	"tasp/internal/locate"
 	"tasp/internal/noc"
-	"tasp/internal/obfe2e"
 	"tasp/internal/qos"
 	"tasp/internal/reroute"
 	"tasp/internal/stats"
@@ -47,6 +44,17 @@ func (m Mitigation) String() string {
 	default:
 		return fmt.Sprintf("mitigation(%d)", int(m))
 	}
+}
+
+// ParseMitigation resolves a mitigation name (as produced by String) back to
+// its value — the campaign scenario files and CLI flags use the names.
+func ParseMitigation(s string) (Mitigation, error) {
+	for _, m := range []Mitigation{NoMitigation, S2SLOb, E2EObfuscation, TDMQoS, Rerouting} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return NoMitigation, fmt.Errorf("unknown mitigation %q (want none, s2s-lob, e2e-obfuscation, tdm-qos or rerouting)", s)
 }
 
 // AttackConfig describes the TASP deployment for a run.
@@ -244,231 +252,10 @@ func ChooseInfectedLinks(m *traffic.Model, cfg noc.Config, links []noc.LinkInfo,
 	return picked
 }
 
-// Run executes one experiment.
+// Run executes one experiment on a fresh one-shot platform. It is a thin
+// wrapper over the Runner execution engine (runner.go); sweeps that revisit
+// the same network configuration should hold a Runner per worker and call
+// RunInto to reuse the simulation arena across points.
 func Run(cfg ExperimentConfig) (*Results, error) {
-	if err := cfg.Noc.Validate(); err != nil {
-		return nil, err
-	}
-	model := cfg.Model
-	if model == nil {
-		var err error
-		model, err = traffic.Benchmark(cfg.Benchmark, cfg.Noc)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if cfg.Mitigation == TDMQoS {
-		// SurfNoC-style non-interference partitions the retransmission
-		// buffers between the domains too.
-		cfg.Noc.PartitionRetrans = true
-	}
-	net, err := noc.New(cfg.Noc)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = 25
-	}
-	if cfg.RerouteDetectDelay <= 0 {
-		cfg.RerouteDetectDelay = 200
-	}
-	enableAt := cfg.Attack.EnableAt
-	if enableAt == 0 {
-		enableAt = uint64(cfg.Warmup)
-	}
-
-	res := &Results{
-		Config:        cfg,
-		Detections:    map[int]detect.Classification{},
-		TriggerScopes: map[int]string{},
-	}
-
-	// ---- attack deployment ----
-	infected := append([]int(nil), cfg.Attack.Links...)
-	if cfg.Attack.Enabled && len(infected) == 0 {
-		k := cfg.Attack.NumLinks
-		if k <= 0 {
-			k = 1
-		}
-		infected = ChooseInfectedLinks(model, cfg.Noc, net.Links(), k, cfg.Attack.Target)
-	}
-	res.InfectedLinks = infected
-	yBits := cfg.Attack.YBits
-	if yBits == 0 {
-		yBits = tasp.DefaultPayloadBits
-	}
-
-	// ---- wire assembly ----
-	layout := cfg.Noc.Layout()
-	mitigated := cfg.Mitigation == S2SLOb
-	trojans := make([]*tasp.HT, 0, len(infected))
-	wires := map[int]*SecureWire{}
-	isInfected := map[int]bool{}
-	for _, id := range infected {
-		isInfected[id] = true
-	}
-	for _, l := range net.Links() {
-		var tap fault.Injector = fault.None
-		var chain fault.Chain
-		if isInfected[l.ID] && cfg.Attack.Enabled {
-			ht := tasp.New(cfg.Attack.Target, yBits, layout)
-			trojans = append(trojans, ht)
-			chain = append(chain, ht)
-		}
-		if cfg.TransientBER > 0 {
-			chain = append(chain, fault.NewTransient(cfg.TransientBER, cfg.Seed^uint64(l.ID)<<8))
-		}
-		if len(chain) > 0 {
-			tap = chain
-		}
-		w := NewSecureWire(tap, cfg.Seed^0x10b^uint64(l.ID), layout)
-		w.Mitigated = mitigated
-		if cfg.DetectorHistory > 0 {
-			w.Detector = detect.New(cfg.DetectorHistory)
-		}
-		wires[l.ID] = w
-		net.SetWire(l.ID, w)
-	}
-
-	// ---- mitigation-specific setup ----
-	var tdm *qos.TDM
-	if cfg.Mitigation == TDMQoS {
-		tdm = qos.NewTDM(cfg.Noc)
-		tdm.Install(net)
-	}
-	var e2e *obfe2e.Scrambler
-	if cfg.Mitigation == E2EObfuscation {
-		e2e = obfe2e.New(cfg.Seed ^ 0xe2e)
-	}
-
-	// Delivery accounting: latency distribution plus, for destination-style
-	// targets, the victim application's goodput.
-	res.Latency = stats.NewHistogram()
-	trackVictim := false
-	var victim uint8
-	switch cfg.Attack.Target.Kind {
-	case tasp.TargetDest, tasp.TargetDestSrc, tasp.TargetFull:
-		trackVictim, victim = true, cfg.Attack.Target.DstR
-	}
-	net.SetDelivered(func(d noc.Delivery) {
-		res.Latency.Observe(d.Latency)
-		if trackVictim && d.Hdr.DstR == victim && net.Cycle() >= enableAt {
-			res.VictimDelivered++
-		}
-	})
-
-	// ---- localization layer ----
-	var tel *noc.LinkTelemetry
-	var eng *locate.Engine
-	var evScratch map[int]locate.LinkEvidence
-	if cfg.Locate {
-		tel = net.EnableTelemetry(0)
-		eng = locate.New(net.Topology(), net.Links())
-		evScratch = make(map[int]locate.LinkEvidence, len(wires))
-	}
-	gatherEvidence := func() map[int]locate.LinkEvidence {
-		for id, w := range wires { //nocvet:orderfree builds a map keyed by the same id, no order observed
-			op := net.LinkOutput(id)
-			evScratch[id] = locate.LinkEvidence{
-				Class:           w.Detector.Classification(),
-				Retransmissions: op.Retransmissions,
-				FlitsSent:       op.FlitsSent,
-			}
-		}
-		return evScratch
-	}
-
-	gen := model.Generator(cfg.Seed)
-	inject := func(core int, p *flit.Packet) bool {
-		if tdm != nil {
-			p.Hdr.VC = tdm.AssignVC(core, p.Hdr.Seq)
-		}
-		if e2e != nil {
-			p.Hdr.SrcR = uint8(cfg.Noc.CoreRouter(core)) // key derivation needs src
-			e2e.Apply(p)
-		}
-		return net.Inject(core, p)
-	}
-
-	// ---- main loop ----
-	total := cfg.Warmup + cfg.Measure
-	rerouted := false
-	for c := 0; c < total; c++ {
-		if net.Cycle()+1 == enableAt {
-			for _, ht := range trojans {
-				ht.SetKillSwitch(true)
-			}
-		}
-		gen.Tick(inject)
-		net.Step()
-		if net.Cycle() == enableAt {
-			res.AtEnable = net.Counters
-		}
-		if cfg.Mitigation == Rerouting && !rerouted && cfg.Attack.Enabled &&
-			net.Cycle() >= enableAt+uint64(cfg.RerouteDetectDelay) {
-			disabled := map[int]bool{}
-			for _, id := range infected {
-				disabled[id] = true
-			}
-			if _, err := reroute.Apply(net, disabled); err != nil {
-				return nil, fmt.Errorf("rerouting baseline: %w", err)
-			}
-			rerouted = true
-			res.ReroutedAt = net.Cycle()
-		}
-		if mitigated && res.FirstTrojanAt == 0 {
-			for _, w := range wires { //nocvet:orderfree existence scan, same FirstTrojanAt whichever wire matches
-				if w.Detector.Classification() == detect.Trojan {
-					res.FirstTrojanAt = net.Cycle()
-					break
-				}
-			}
-		}
-		if int(net.Cycle())%cfg.SampleEvery == 0 {
-			s := Sample{Occupancy: net.Occupancy()}
-			if tdm != nil {
-				for d := 0; d < qos.NumDomains; d++ {
-					s.Domain[d] = tdm.OccupancyOf(net, d)
-				}
-			}
-			res.Samples = append(res.Samples, s)
-			if tel != nil {
-				tel.Sample()
-				if net.Cycle() >= enableAt {
-					ranked := eng.Rank(tel, gatherEvidence())
-					res.SuspectTrace = append(res.SuspectTrace, locate.TraceSample{
-						Cycle:      net.Cycle(),
-						LinkID:     ranked[0].LinkID,
-						Score:      ranked[0].Score,
-						Confidence: ranked[0].Confidence,
-					})
-				}
-			}
-		}
-	}
-
-	// ---- results ----
-	res.Final = net.Counters
-	if cfg.Measure > 0 {
-		res.Throughput = float64(res.Final.DeliveredPackets-res.AtEnable.DeliveredPackets) / float64(cfg.Measure)
-	}
-	res.AvgLatency = res.Final.AvgLatency()
-	for _, ht := range trojans {
-		res.HTMatches += ht.Matches
-		res.HTInjections += ht.Injections
-	}
-	if eng != nil {
-		res.Suspects = eng.Rank(tel, gatherEvidence())
-		res.SuspectsTelemetry = eng.RankWeighted(locate.TelemetryWeights(), tel, nil)
-	}
-	for id, w := range wires { //nocvet:orderfree commutative sums and per-id map fills
-		res.Obfuscated += w.Obfuscated
-		res.StallCycles += w.StallCycles
-		res.BISTScans += w.BISTScans
-		if cl := w.Detector.Classification(); cl != detect.Healthy {
-			res.Detections[id] = cl
-			res.TriggerScopes[id] = w.Detector.TriggerScope()
-		}
-	}
-	return res, nil
+	return NewRunner().Run(cfg)
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tasp/internal/tasp"
+)
+
+// summarize renders every observable field of a Results deterministically,
+// so two runs can be compared for exact behavioural equality.
+func summarize(res *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "infected=%v\n", res.InfectedLinks)
+	fmt.Fprintf(&b, "atEnable=%+v\nfinal=%+v\n", res.AtEnable, res.Final)
+	fmt.Fprintf(&b, "tput=%.9f lat=%.9f\n", res.Throughput, res.AvgLatency)
+	fmt.Fprintf(&b, "ht=%d/%d obf=%d stall=%d bist=%d\n",
+		res.HTMatches, res.HTInjections, res.Obfuscated, res.StallCycles, res.BISTScans)
+	fmt.Fprintf(&b, "rerouted=%d victim=%d firstTrojan=%d\n",
+		res.ReroutedAt, res.VictimDelivered, res.FirstTrojanAt)
+	fmt.Fprintf(&b, "latency: n=%d mean=%.9f p50=%d p99=%d max=%d\n",
+		res.Latency.Count(), res.Latency.Mean(),
+		res.Latency.Percentile(50), res.Latency.Percentile(99), res.Latency.Max())
+	ids := make([]int, 0, len(res.Detections))
+	for id := range res.Detections { //nocvet:orderfree collecting keys for sorting
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "det %d %v %s\n", id, res.Detections[id], res.TriggerScopes[id])
+	}
+	for _, s := range res.Samples {
+		fmt.Fprintf(&b, "sample %+v\n", s)
+	}
+	for _, s := range res.Suspects {
+		fmt.Fprintf(&b, "suspect %+v\n", s)
+	}
+	for _, s := range res.SuspectsTelemetry {
+		fmt.Fprintf(&b, "suspectTel %+v\n", s)
+	}
+	for _, s := range res.SuspectTrace {
+		fmt.Fprintf(&b, "trace %+v\n", s)
+	}
+	return b.String()
+}
+
+// runnerCases spans every mitigation, attack kinds, localization, transient
+// noise and a second topology — the behaviours a reused arena must
+// reproduce exactly.
+func runnerCases() []ExperimentConfig {
+	short := func(mut func(*ExperimentConfig)) ExperimentConfig {
+		cfg := DefaultExperiment()
+		cfg.Warmup, cfg.Measure = 400, 400
+		mut(&cfg)
+		return cfg
+	}
+	return []ExperimentConfig{
+		short(func(c *ExperimentConfig) { c.Attack.Enabled = false }),
+		short(func(c *ExperimentConfig) {}),
+		short(func(c *ExperimentConfig) { c.Mitigation = S2SLOb }),
+		short(func(c *ExperimentConfig) { c.Mitigation = S2SLOb; c.TransientBER = 1e-5 }),
+		short(func(c *ExperimentConfig) { c.Mitigation = E2EObfuscation }),
+		short(func(c *ExperimentConfig) { c.Mitigation = TDMQoS }),
+		short(func(c *ExperimentConfig) { c.Mitigation = Rerouting }),
+		short(func(c *ExperimentConfig) { c.Mitigation = S2SLOb; c.Locate = true }),
+		short(func(c *ExperimentConfig) { c.Seed = 9; c.Attack.Target = tasp.ForVC(1) }),
+		short(func(c *ExperimentConfig) {
+			c.Noc.Topo = "torus"
+			c.Mitigation = S2SLOb
+			c.Benchmark = "fft"
+		}),
+	}
+}
+
+// TestRunnerMatchesRun is the arena-reuse equivalence contract: a single
+// Runner executing many heterogeneous points back to back (and revisiting
+// earlier ones with warm arenas) must produce exactly the results of a
+// fresh one-shot Run for every point.
+func TestRunnerMatchesRun(t *testing.T) {
+	cases := runnerCases()
+	want := make([]string, len(cases))
+	for i, cfg := range cases {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("case %d: fresh run: %v", i, err)
+		}
+		want[i] = summarize(res)
+	}
+	r := NewRunner()
+	res := &Results{}
+	// Two passes: the first builds each arena, the second revisits every
+	// point on a warm, dirty arena.
+	for pass := 0; pass < 2; pass++ {
+		for i, cfg := range cases {
+			if err := r.RunInto(cfg, res); err != nil {
+				t.Fatalf("pass %d case %d: %v", pass, i, err)
+			}
+			if got := summarize(res); got != want[i] {
+				t.Errorf("pass %d case %d (%s): reused arena diverged from fresh run\nfresh:\n%s\nreused:\n%s",
+					pass, i, cases[i].Mitigation, want[i], got)
+			}
+		}
+	}
+}
+
+// TestRunnerSteadyStateAllocs pins the campaign engine's per-point
+// allocation contract: after warm-up, repeated RunInto calls on the same
+// platform allocate nothing for the none and s2s-lob mitigations (the
+// paper's headline configurations).
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	for _, mit := range []Mitigation{NoMitigation, S2SLOb} {
+		cfg := DefaultExperiment()
+		cfg.Warmup, cfg.Measure = 300, 300
+		cfg.Mitigation = mit
+		r := NewRunner()
+		res := &Results{}
+		seed := uint64(1)
+		point := func() {
+			cfg.Seed = seed
+			seed++
+			if err := r.RunInto(cfg, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Warm the arena, freelists and result storage past their high-water
+		// marks: early points occasionally grow a recycler (detector records,
+		// rx reassembly states, flow latches) to a new maximum.
+		for i := 0; i < 40; i++ {
+			point()
+		}
+		if avg := testing.AllocsPerRun(10, point); avg > 0.1 {
+			t.Errorf("%s: warmed RunInto allocates %.2f times per point; budget is 0", mit, avg)
+		}
+	}
+}
+
+// BenchmarkRunnerPoint measures one warm campaign point end to end
+// (4x4 mesh, 800 cycles, attack on, no mitigation) — the unit of work the
+// campaign engine schedules. Wired into the CI allocation gate.
+func BenchmarkRunnerPoint(b *testing.B) {
+	cfg := DefaultExperiment()
+	cfg.Warmup, cfg.Measure = 400, 400
+	r := NewRunner()
+	res := &Results{}
+	for i := 0; i < 3; i++ {
+		cfg.Seed = uint64(i + 100)
+		if err := r.RunInto(cfg, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if err := r.RunInto(cfg, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -80,6 +80,25 @@ func (w *SecureWire) WithMitigation(on bool) *SecureWire {
 	return w
 }
 
+// Reset returns the wire to its post-NewSecureWire state for a new run
+// without allocating: the tap is replaced, the keystream rewound to keySeed,
+// and the detector, method log, flow latcher and counters cleared. The
+// granularity windows are layout-derived and preserved — a wire belongs to
+// one network (hence one layout) for its whole life, which is exactly the
+// campaign arena's reuse pattern.
+func (w *SecureWire) Reset(tap fault.Injector, keySeed uint64) {
+	if tap == nil {
+		tap = fault.None
+	}
+	w.Tap = tap
+	w.Detector.Reset()
+	w.Log.Reset()
+	w.Mitigated = true
+	w.key.Reseed(keySeed)
+	clear(w.flows)
+	w.Corrected, w.Dropped, w.Obfuscated, w.BISTScans, w.StallCycles = 0, 0, 0, 0, 0
+}
+
 // flowOf resolves the flow a flit belongs to, latching it from head flits.
 func (w *SecureWire) flowOf(f flit.Flit, vc uint8) lob.FlowKey {
 	if f.IsHead() {

@@ -99,6 +99,11 @@ type Detector struct {
 	CleanAfterObf  uint64 // obfuscated flits that arrived clean
 
 	class Classification
+
+	// free recycles retired records (and their syndrome storage) so a
+	// sustained attack's insert/remove churn stops allocating once the list
+	// has warmed up to the history high-water mark.
+	free []*record
 }
 
 // DefaultHistoryCap is the default fault-history table size.
@@ -129,7 +134,7 @@ func (d *Detector) OnFault(key FlitKey, syndrome int, obf lob.Choice) Action {
 		// obfuscated (attempt 0 replays the flow's logged method, and a
 		// sustained attack can evict a flit's record between its retries);
 		// that evidence feeds TriggerScope and must not be lost.
-		r = &record{key: key}
+		r = d.getRecord(key)
 		d.insert(r)
 		r.faults = 1
 		r.syndromes = append(r.syndromes, syndrome)
@@ -221,6 +226,7 @@ func (d *Detector) insert(r *record) {
 		n := copy(d.history, d.history[1:])
 		d.history[n] = nil // release the evicted pointer
 		d.history = d.history[:n]
+		d.recycle(old)
 	}
 	d.history = append(d.history, r)
 	d.index[r.key] = r
@@ -239,7 +245,49 @@ func (d *Detector) remove(key FlitKey) {
 			break
 		}
 	}
+	d.recycle(r)
+}
+
+// getRecord returns a recycled record keyed for a new flit, or a fresh one
+// while the free list is still warming up to the history high-water mark.
+func (d *Detector) getRecord(key FlitKey) *record {
+	if k := len(d.free); k > 0 {
+		r := d.free[k-1]
+		d.free = d.free[:k-1]
+		r.key = key
+		r.faults, r.obfTried = 0, 0
+		r.syndromes = r.syndromes[:0]
+		return r
+	}
+	return &record{key: key}
+}
+
+// recycle returns a retired record (and its grown syndrome storage) to the
+// free list. The list is bounded by historyCap, since only resident records
+// are ever retired.
+func (d *Detector) recycle(r *record) { d.free = append(d.free, r) }
+
+// Reset forgets every observation — history, BIST outcome, granularity
+// evidence, counters and verdict — returning the detector to its post-New
+// state. Resident records are recycled rather than dropped, so a reset
+// detector re-reaches steady state without reallocating its history.
+func (d *Detector) Reset() {
+	for i, r := range d.history {
+		delete(d.index, r.key)
+		d.history[i] = nil
+		d.recycle(r)
+	}
+	d.history = d.history[:0]
+	d.bistDone = false
+	d.bistReport = bist.Report{}
+	clear(d.granOK)
+	clear(d.granFail)
+	d.FaultEvents, d.RepeatedFaults, d.CleanAfterObf = 0, 0, 0
+	d.class = Healthy
 }
 
 // HistoryLen reports the current fault-history occupancy.
 func (d *Detector) HistoryLen() int { return len(d.history) }
+
+// Cap reports the configured fault-history capacity.
+func (d *Detector) Cap() int { return d.historyCap }

@@ -6,68 +6,24 @@
 package exp
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+
+	"tasp/internal/tab"
 )
 
-// Table is a rendered experiment result.
-type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	// Notes carries paper-vs-measured commentary for EXPERIMENTS.md.
-	Notes []string
-}
-
-// Render formats the table as aligned plain text.
-func (t Table) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s\n", t.Title)
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i < len(widths) {
-				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
-			} else {
-				sb.WriteString(c + "  ")
-			}
-		}
-		sb.WriteString("\n")
-	}
-	line(t.Columns)
-	sep := make([]string, len(t.Columns))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&sb, "note: %s\n", n)
-	}
-	return sb.String()
-}
+// Table is a rendered experiment result. It is an alias for the shared
+// rendering type in internal/tab, so harness tables and campaign-aggregated
+// tables are interchangeable (and byte-diffable).
+type Table = tab.Table
 
 // f2 formats a float at 2 decimals, f3 at 3, f1 at 1.
-func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
-func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
-
-// pct formats a fraction as a percentage.
-func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+var (
+	f1  = tab.F1
+	f2  = tab.F2
+	f3  = tab.F3
+	f4  = tab.F4
+	pct = tab.Pct
+)
 
 // sortedKeys returns the sorted keys of a string-keyed map.
 func sortedKeys[V any](m map[string]V) []string {

@@ -3,8 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"tasp/internal/core"
-	"tasp/internal/tasp"
+	"tasp/internal/campaign"
 )
 
 // Figure10Benches are the traces the paper sweeps in Figure 10.
@@ -31,26 +30,28 @@ type Figure10Point struct {
 // directed link count (48 for the 4x4 mesh).
 func RunFigure10(seed uint64) ([]Figure10Point, error) {
 	var out []Figure10Point
+	sr := newScenarios()
 	for _, bench := range Figure10Benches {
 		for _, frac := range Figure10Fracs {
-			base := core.DefaultExperiment()
-			base.Benchmark = bench
-			base.Seed = seed
 			nLinks := int(frac*float64(48) + 0.5)
-			base.Attack.Enabled = nLinks > 0
-			base.Attack.NumLinks = nLinks
+			base := campaign.Scenario{Benchmark: bench, Seed: seed}
+			base.Attack.Kind = "none"
+			if nLinks > 0 {
+				base.Attack.Kind = "dest"
+				base.Attack.NumLinks = nLinks
+			}
 			// Target the benchmark's primary core region.
-			base.Attack.Target = primaryTarget(bench)
+			base.Attack.Dest = primaryDest(bench)
 
 			lob := base
-			lob.Mitigation = core.S2SLOb
-			rl, err := core.Run(lob)
+			lob.Mitigation = "s2s-lob"
+			rl, err := sr.run(lob)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s lob: %w", bench, err)
 			}
 			rr := base
-			rr.Mitigation = core.Rerouting
-			rrRes, err := core.Run(rr)
+			rr.Mitigation = "rerouting"
+			rrRes, err := sr.run(rr)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s reroute: %w", bench, err)
 			}
@@ -70,15 +71,15 @@ func RunFigure10(seed uint64) ([]Figure10Point, error) {
 	return out, nil
 }
 
-// primaryTarget returns the dest target for a benchmark's primary router.
-func primaryTarget(bench string) tasp.Target {
+// primaryDest returns a benchmark's primary (hottest destination) router.
+func primaryDest(bench string) int {
 	switch bench {
 	case "facesim":
-		return tasp.ForDest(5)
+		return 5
 	case "ferret":
-		return tasp.ForDest(2)
+		return 2
 	default: // blackscholes, fft and most others concentrate on router 0
-		return tasp.ForDest(0)
+		return 0
 	}
 }
 

@@ -19,17 +19,16 @@ type Figure11 struct {
 // RunFigure11 executes both runs with the paper's protocol: Blackscholes
 // traces, 1500-cycle warm-up, then the kill switch.
 func RunFigure11(seed uint64) (*Figure11, error) {
-	atk := core.DefaultExperiment()
-	atk.Seed = seed
-	atk.Mitigation = core.E2EObfuscation // present but ineffective, as in 11(a)
-	a, err := core.Run(atk)
+	sr := newScenarios()
+	atk := figure11Scenario(seed)
+	atk.Mitigation = "e2e-obfuscation" // present but ineffective, as in 11(a)
+	a, err := sr.run(atk)
 	if err != nil {
 		return nil, err
 	}
-	clean := core.DefaultExperiment()
-	clean.Seed = seed
-	clean.Attack.Enabled = false
-	h, err := core.Run(clean)
+	clean := figure11Scenario(seed)
+	clean.Attack.Kind = "none"
+	h, err := sr.run(clean)
 	if err != nil {
 		return nil, err
 	}

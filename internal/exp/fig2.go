@@ -35,7 +35,7 @@ var fig2Dests = []int{1, 2, 3, 7, 11, 15}
 
 // eastLink finds the directed link 0->1.
 func eastLink(n *noc.Network) noc.LinkInfo {
-	for _, l := range n.Links() {
+	for _, l := range n.LinkSlice() {
 		if l.From == 0 && l.FromPort == noc.PortEast {
 			return l
 		}

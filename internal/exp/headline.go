@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"tasp/internal/core"
 	"tasp/internal/power"
 )
 
@@ -35,9 +34,8 @@ func Headline(seed uint64) (Table, error) {
 	})
 
 	// Attack potency claims (Figure 11 protocol).
-	atk := core.DefaultExperiment()
-	atk.Seed = seed
-	res, err := core.Run(atk)
+	sr := newScenarios()
+	res, err := sr.run(figure11Scenario(seed))
 	if err != nil {
 		return t, err
 	}
@@ -52,7 +50,7 @@ func Headline(seed uint64) (Table, error) {
 		}
 	}
 	last := res.Samples[len(res.Samples)-1]
-	R := atk.Noc.Routers()
+	R := res.Config.Noc.Routers()
 	t.Rows = append(t.Rows, []string{
 		">=1 blocked port on routers, <1500 cycles after enable", "68% (11/16)",
 		fmt.Sprintf("%d/%d (%s)", last.BlockedRouters, R, pct(float64(last.BlockedRouters)/float64(R))),
@@ -63,15 +61,15 @@ func Headline(seed uint64) (Table, error) {
 	})
 
 	// Mitigation efficacy.
-	lo := atk
-	lo.Mitigation = core.S2SLOb
-	lores, err := core.Run(lo)
+	lo := figure11Scenario(seed)
+	lo.Mitigation = "s2s-lob"
+	lores, err := sr.run(lo)
 	if err != nil {
 		return t, err
 	}
-	clean := atk
-	clean.Attack.Enabled = false
-	cres, err := core.Run(clean)
+	clean := figure11Scenario(seed)
+	clean.Attack.Kind = "none"
+	cres, err := sr.run(clean)
 	if err != nil {
 		return t, err
 	}

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"tasp/internal/core"
 	"tasp/internal/locate"
 	"tasp/internal/noc"
 )
@@ -63,20 +62,20 @@ func AblationLocate(seed uint64) (Table, error) {
 			"telemetry-only zeroes the detector/NACK component: blocked-port telemetry + structural priors alone",
 		},
 	}
+	sr := newScenarios()
 	for _, topo := range noc.Topologies() {
-		cfg := core.DefaultExperiment()
-		cfg.Seed = seed
-		cfg.Noc.Topo = topo
-		cfg.Locate = true
-		res, err := core.Run(cfg)
+		sc := figure11Scenario(seed)
+		sc.Topology = topo
+		sc.Locate = true
+		res, err := sr.run(sc)
 		if err != nil {
 			return t, fmt.Errorf("%s: %w", topo, err)
 		}
-		n, err := noc.New(cfg.Noc)
+		n, err := noc.New(res.Config.Noc)
 		if err != nil {
 			return t, fmt.Errorf("%s: %w", topo, err)
 		}
-		links := n.Links()
+		links := n.LinkSlice()
 		name := func(s []locate.Suspect) string {
 			if len(s) == 0 {
 				return "-"
@@ -84,7 +83,7 @@ func AblationLocate(seed uint64) (Table, error) {
 			return fmt.Sprintf("%d (%s)", s[0].LinkID, links[s[0].LinkID])
 		}
 		ttl := "never"
-		if d, ok := timeToLocalize(res.SuspectTrace, res.InfectedLinks, uint64(cfg.Warmup)); ok {
+		if d, ok := timeToLocalize(res.SuspectTrace, res.InfectedLinks, uint64(res.Config.Warmup)); ok {
 			ttl = fmt.Sprintf("%d cyc", d)
 		}
 		t.Rows = append(t.Rows, []string{

@@ -63,9 +63,9 @@ func runMigrationCase(seed uint64, useLOb, useMigration bool) ([]string, error) 
 		detectDelay = 250
 	)
 	target := tasp.ForDest(victim)
-	infected := core.ChooseInfectedLinks(model, ncfg, net.Links(), 2, target)
+	infected := core.ChooseInfectedLinks(model, ncfg, net.LinkSlice(), 2, target)
 	trojans := make([]*tasp.HT, 0, len(infected))
-	for _, l := range net.Links() {
+	for _, l := range net.LinkSlice() {
 		var ht *tasp.HT
 		for _, id := range infected {
 			if id == l.ID {
@@ -126,7 +126,7 @@ func runMigrationCase(seed uint64, useLOb, useMigration bool) ([]string, error) 
 		}
 		if useMigration && mig.Moves == 0 && net.Cycle() >= warmup+detectDelay {
 			fromPhys := mig.PhysRouter(victim)
-			donor := migrate.PlanTarget(ncfg, net.Links(), infected, fromPhys)
+			donor := migrate.PlanTarget(ncfg, net.LinkSlice(), infected, fromPhys)
 			mig.Evacuate(victim, donor, net.Cycle())
 			for i, p := range mig.StateTransfer(fromPhys, donor, 24) {
 				src := fromPhys*ncfg.Concentration + i%ncfg.Concentration

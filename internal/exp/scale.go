@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"tasp/internal/core"
+	"tasp/internal/campaign"
 )
 
 // AblationScale runs the paper's standard attack protocol (Figure 11:
@@ -27,6 +27,7 @@ func AblationScale(seed uint64) (Table, error) {
 			"scale amplifies the single point of attack: the larger mesh funnels four times the flows toward the victim's hotspot, so the wedged wormhole tree back-pressures nearly the whole substrate; S2S L-Ob still recovers >90% of clean throughput",
 		},
 	}
+	sr := newScenarios()
 	for _, p := range []struct {
 		name          string
 		width, height int
@@ -34,23 +35,22 @@ func AblationScale(seed uint64) (Table, error) {
 		{"4x4 mesh", 4, 4},
 		{"8x8 mesh", 8, 8},
 	} {
-		mk := func(enabled bool, mit core.Mitigation) core.ExperimentConfig {
-			cfg := core.DefaultExperiment()
-			cfg.Seed = seed
-			cfg.Noc.Width, cfg.Noc.Height = p.width, p.height
-			cfg.Attack.Enabled = enabled
-			cfg.Mitigation = mit
-			return cfg
+		mk := func(kind, mit string) campaign.Scenario {
+			sc := figure11Scenario(seed)
+			sc.Width, sc.Height = p.width, p.height
+			sc.Attack.Kind = kind
+			sc.Mitigation = mit
+			return sc
 		}
-		clean, err := core.Run(mk(false, core.NoMitigation))
+		clean, err := sr.run(mk("none", "none"))
 		if err != nil {
 			return t, fmt.Errorf("%s clean: %w", p.name, err)
 		}
-		attacked, err := core.Run(mk(true, core.NoMitigation))
+		attacked, err := sr.run(mk("dest", "none"))
 		if err != nil {
 			return t, fmt.Errorf("%s attacked: %w", p.name, err)
 		}
-		defended, err := core.Run(mk(true, core.S2SLOb))
+		defended, err := sr.run(mk("dest", "s2s-lob"))
 		if err != nil {
 			return t, fmt.Errorf("%s defended: %w", p.name, err)
 		}

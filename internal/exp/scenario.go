@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"tasp/internal/campaign"
+	"tasp/internal/core"
+)
+
+// scenarios adapts the harnesses onto the declarative campaign layer: an
+// experiment states its points as campaign.Scenario values and runs them on
+// a shared core.Runner, reusing simulation arenas across its runs exactly
+// like a campaign worker does. The results (and hence the golden experiment
+// output) are unchanged — runner/Run equivalence is pinned by core's
+// TestRunnerMatchesRun and the golden regression.
+//
+// Experiments whose knobs a scenario cannot express (explicit link lists,
+// detector-history and retransmission-scheme ablations, custom traffic
+// models, mid-run rewiring) keep driving core directly.
+type scenarios struct{ r *core.Runner }
+
+func newScenarios() scenarios { return scenarios{core.NewRunner()} }
+
+func (s scenarios) run(sc campaign.Scenario) (*core.Results, error) {
+	cfg, err := sc.Config()
+	if err != nil {
+		return nil, err
+	}
+	return s.r.Run(cfg)
+}
+
+// figure11Scenario is the paper's standard attack protocol (Figure 11:
+// blackscholes, dest-0 TASP on the two hottest target-flow links,
+// 1500-cycle phases) as a declarative scenario — the twin of
+// core.DefaultExperiment.
+func figure11Scenario(seed uint64) campaign.Scenario {
+	return campaign.Scenario{
+		Benchmark: "blackscholes",
+		Seed:      seed,
+		Attack:    campaign.AttackSpec{Kind: "dest"},
+	}
+}

@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"tasp/internal/core"
+	"tasp/internal/campaign"
 	"tasp/internal/noc"
 )
 
@@ -26,24 +26,24 @@ func AblationTopology(seed uint64) (Table, error) {
 			"torus and ring runs use dateline VC classes for deadlock freedom; wraparound path diversity shrinks the single-point-of-attack congestion tree, the ring's narrow bisection amplifies it",
 		},
 	}
+	sr := newScenarios()
 	for _, topo := range noc.Topologies() {
-		mk := func(enabled bool, mit core.Mitigation) core.ExperimentConfig {
-			cfg := core.DefaultExperiment()
-			cfg.Seed = seed
-			cfg.Noc.Topo = topo
-			cfg.Attack.Enabled = enabled
-			cfg.Mitigation = mit
-			return cfg
+		mk := func(kind, mit string) campaign.Scenario {
+			sc := figure11Scenario(seed)
+			sc.Topology = topo
+			sc.Attack.Kind = kind
+			sc.Mitigation = mit
+			return sc
 		}
-		clean, err := core.Run(mk(false, core.NoMitigation))
+		clean, err := sr.run(mk("none", "none"))
 		if err != nil {
 			return t, fmt.Errorf("%s clean: %w", topo, err)
 		}
-		attacked, err := core.Run(mk(true, core.NoMitigation))
+		attacked, err := sr.run(mk("dest", "none"))
 		if err != nil {
 			return t, fmt.Errorf("%s attacked: %w", topo, err)
 		}
-		defended, err := core.Run(mk(true, core.S2SLOb))
+		defended, err := sr.run(mk("dest", "s2s-lob"))
 		if err != nil {
 			return t, fmt.Errorf("%s defended: %w", topo, err)
 		}

@@ -58,6 +58,15 @@ func NewTransient(ber float64, seed uint64) *Transient {
 	return &Transient{BitErrorRate: ber, rng: xrand.New(seed)}
 }
 
+// Reset re-arms the injector in place with a new rate and seed, producing
+// the exact upset stream a fresh NewTransient(ber, seed) would (arena reuse
+// across simulation runs).
+func (t *Transient) Reset(ber float64, seed uint64) {
+	t.BitErrorRate = ber
+	t.rng.Seed(seed)
+	t.Flips = 0
+}
+
 // Inspect implements Injector.
 func (t *Transient) Inspect(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword {
 	// Fast path: with rate p the chance of any flip in 72 bits is ~72p;

@@ -177,6 +177,11 @@ type Keystream struct {
 // NewKeystream seeds a link keystream.
 func NewKeystream(seed uint64) *Keystream { return &Keystream{rng: xrand.New(seed)} }
 
+// Reseed rewinds the keystream to the start of the stream a fresh
+// NewKeystream(seed) would produce, in place. Both link endpoints must be
+// reseeded together, exactly as they must be constructed together.
+func (k *Keystream) Reseed(seed uint64) { k.rng.Seed(seed) }
+
 // Next produces the next 72-bit keystream word.
 func (k *Keystream) Next() ecc.Codeword {
 	return ecc.Codeword{Lo: k.rng.Uint64(), Hi: uint8(k.rng.Uint64())}
@@ -300,6 +305,13 @@ func (l *MethodLog) Lookup(k FlowKey) (Choice, bool) {
 
 // Record stores a successful choice for a flow.
 func (l *MethodLog) Record(k FlowKey, c Choice) { l.known[k] = c }
+
+// Reset forgets every logged flow and the hit counter, returning the log to
+// its post-NewMethodLog state without reallocating the table.
+func (l *MethodLog) Reset() {
+	clear(l.known)
+	l.Hits = 0
+}
 
 // Forget drops a logged choice (when it stops working, e.g. the trojan's
 // trigger turned out to alias the obfuscated form too).

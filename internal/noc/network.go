@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tasp/internal/fault"
 	"tasp/internal/flit"
 )
 
@@ -76,6 +77,13 @@ type Network struct {
 	route   RouteFunc
 	cycle   uint64
 
+	// baseRoute is the topology's default route table installed at New;
+	// Reset restores it after a SetRoute/SetAdaptiveRoute replacement.
+	baseRoute RouteFunc
+	// plainWires holds each link's original healthy PlainWire so Reset can
+	// restore the post-New wiring without allocating.
+	plainWires []*PlainWire
+
 	adaptive     AdaptiveRouteFunc
 	nextPacketID uint64
 	Counters     Counters
@@ -113,6 +121,7 @@ func New(cfg Config) (*Network, error) {
 	topo := cfg.Topology()
 	n := &Network{cfg: cfg, layout: cfg.Layout(), topo: topo, refPacketFlits: 5}
 	n.route = RouteTable(topo)
+	n.baseRoute = n.route
 	R := topo.Routers()
 	n.sched = newScheduler(R)
 	for r := 0; r < R; r++ {
@@ -138,7 +147,9 @@ func New(cfg Config) (*Network, error) {
 		})
 		op := n.routers[ls.From].outputs[ls.FromPort]
 		op.linkID = id
-		op.wire = NewPlainWire()
+		pw := NewPlainWire()
+		n.plainWires = append(n.plainWires, pw)
+		op.wire = pw
 		if restricted {
 			op.vcClass = make([]uint8, R)
 			for d := 0; d < R; d++ {
@@ -164,8 +175,56 @@ func (n *Network) Topology() Topology { return n.topo }
 // Cycle returns the current simulation time.
 func (n *Network) Cycle() uint64 { return n.cycle }
 
-// Links returns descriptors of every directed router-to-router link.
+// Links returns a fresh copy of the descriptors of every directed
+// router-to-router link. The copy is safe to retain and mutate, but it
+// allocates on every call — hot-loop callers (telemetry consumers, the
+// localization layer, per-point campaign setup) should use LinkSlice.
 func (n *Network) Links() []LinkInfo { return append([]LinkInfo(nil), n.links...) }
+
+// LinkSlice returns the network's link descriptors as a shared, read-only
+// slice: the non-allocating accessor for hot loops. The slice is owned by
+// the network and must not be modified or resized by callers; it is stable
+// for the network's lifetime (links are fixed at construction and survive
+// Reset).
+func (n *Network) LinkSlice() []LinkInfo { return n.links }
+
+// Reset restores a constructed network to its post-New state without
+// allocating: buffers and retransmission entries are emptied, scheduler
+// bitmaps and counters cleared, per-link wires restored to their original
+// healthy PlainWires, disabled links revived, the topology's default route
+// table reinstalled, and all clocks rewound to zero. An attached telemetry
+// tap survives (observation-only state) but is cleared; delivery callbacks
+// and TDM schedules are removed. A reset network is behaviourally
+// indistinguishable from a freshly constructed one — the campaign engine's
+// per-worker arenas lean on exactly that equivalence to reuse networks
+// across scenario points instead of reallocating.
+func (n *Network) Reset() {
+	n.cycle = 0
+	n.nextPacketID = 0
+	n.Counters = Counters{}
+	n.route = n.baseRoute
+	n.adaptive = nil
+	n.schedule = nil
+	n.refPacketFlits = 5
+	n.resetSleep()
+	n.sched.reset()
+	for _, r := range n.routers {
+		r.reset(n.cfg)
+	}
+	for _, ni := range n.nis {
+		ni.reset()
+	}
+	for i := range n.links {
+		l := n.links[i]
+		pw := n.plainWires[i]
+		pw.Tap = fault.None
+		pw.Corrected, pw.Dropped = 0, 0
+		n.routers[l.From].outputs[l.FromPort].wire = pw
+	}
+	if n.telemetry != nil {
+		n.telemetry.Reset()
+	}
+}
 
 // LinkOutput returns the output port driving the given link, exposing its
 // per-link counters.

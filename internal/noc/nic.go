@@ -67,6 +67,28 @@ func newNI(router int, cfg Config, layout flit.Layout) *NI {
 	return ni
 }
 
+// reset empties the injection queues, releases VC locks, recycles in-flight
+// reassembly states and removes the delivery callback, restoring the
+// post-newNI state without allocating (beyond the bounded rxFree growth the
+// recycle list already performs). Network.Reset only.
+func (ni *NI) reset() {
+	for c := range ni.queues {
+		ni.queues[c] = ni.queues[c][:0]
+		ni.heads[c] = 0
+	}
+	for v := range ni.injLock {
+		ni.injLock[v] = -1
+	}
+	ni.rrCore = 0
+	for id, st := range ni.rx { //nocvet:orderfree drains the map; recycled states are fully overwritten before reuse, so recycle order is unobservable
+		delete(ni.rx, id)
+		//nocvet:allowalloc bounded: rxFree holds at most the concurrent-reassembly high-water mark of recycled states
+		ni.rxFree = append(ni.rxFree, st)
+	}
+	ni.Delivered = nil
+	ni.resetActivity()
+}
+
 // qlen returns the number of flits waiting in one core's injection queue.
 func (ni *NI) qlen(core int) int { return len(ni.queues[core]) - ni.heads[core] }
 

@@ -251,6 +251,36 @@ func newRouter(id int, cfg Config, ports int) *Router {
 // idle reports whether the router holds no work at all.
 func (r *Router) idle() bool { return r.inFlits == 0 && r.parked == 0 }
 
+// reset empties every buffer and restores the router's post-newRouter
+// state without allocating: input VCs and their wormhole state, output
+// retransmission buffers, credits, VC ownership, arbitration pointers,
+// per-port counters and the disabled flags. The scheduler-facing masks and
+// counters are cleared through resetActivity (sched.go). Wires are owned by
+// the network and restored by Network.Reset.
+func (r *Router) reset(cfg Config) {
+	for p := 0; p < r.numPorts; p++ {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			ivc.buf = ivc.buf[:0]
+			ivc.head = 0
+			ivc.routed, ivc.allocated = false, false
+			ivc.route = 0
+			ivc.outVC = 0
+		}
+		op := r.outputs[p]
+		op.entries = op.entries[:0]
+		for v := range op.vcOwner {
+			op.vcOwner[v] = 0
+			op.credits[v] = cfg.BufDepth
+		}
+		op.disabled = false
+		op.saPtr, op.vaPtr = 0, 0
+		op.lastProgress = 0
+		op.FlitsSent, op.Retransmissions = 0, 0
+	}
+	r.resetActivity()
+}
+
 // wake refreshes the stall clocks of a router that is receiving its first
 // flit after an idle stretch. While a router is idle, Step skips it — so
 // the per-port lastProgress updates phaseLT would have performed each idle

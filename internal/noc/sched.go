@@ -139,6 +139,36 @@ func (r *Router) grantVA(idx uint) { r.reqVA &^= 1 << idx }
 // traversed the crossbar (the route persists only head-to-tail).
 func (r *Router) retireRouted(o int, idx uint) { r.routedTo[o] &^= 1 << idx }
 
+// resetActivity clears a router's scheduler-facing state — the activity
+// counters and the occupancy/request masks — back to the post-construction
+// empty state. Only Network.Reset may call it: the buffers the masks mirror
+// must be emptied in the same breath, or the invariant audit's
+// counter/mask/buffer agreement breaks.
+func (r *Router) resetActivity() {
+	r.inFlits, r.parked = 0, 0
+	r.occ, r.reqVA = 0, 0
+	for o := range r.routedTo {
+		r.routedTo[o] = 0
+	}
+}
+
+// resetActivity clears an NI's flit counter alongside its emptied queues
+// (Network.Reset only).
+func (ni *NI) resetActivity() { ni.total = 0 }
+
+// reset empties every active set and global counter (Network.Reset only;
+// the per-router and per-NI resets above restore the mirrored state).
+func (s *scheduler) reset() {
+	for i := range s.actIn.w {
+		s.actIn.w[i], s.actOut.w[i], s.actNI.w[i] = 0, 0, 0
+	}
+	s.flitsIn, s.flitsParked, s.flitsNI = 0, 0, 0
+}
+
+// resetSleep cancels any scheduled quiescence without replaying stall
+// clocks — Network.Reset rewinds every clock to zero anyway.
+func (n *Network) resetSleep() { n.sleepUntil = 0 }
+
 // asleep reports whether the network is inside a scheduled quiescent
 // stretch: cycles before sleepUntil are exact no-ops for every phase.
 func (n *Network) asleep() bool { return n.cycle < n.sleepUntil }

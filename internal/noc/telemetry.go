@@ -44,8 +44,11 @@ type LinkTelemetry struct {
 }
 
 // EnableTelemetry attaches a blocked-port telemetry tap with the given ring
-// depth (<= 0 means DefaultTelemetryDepth) and returns it. Calling it again
-// replaces the tap with a fresh one.
+// depth (<= 0 means DefaultTelemetryDepth) and returns it. When a tap of the
+// same shape (depth and link count) is already attached it is cleared and
+// reused in place — the memoized-ring path campaign arenas rely on to keep
+// repeated same-topology points allocation-free; otherwise a fresh tap
+// replaces the old one.
 func (n *Network) EnableTelemetry(depth int) *LinkTelemetry {
 	if depth <= 0 {
 		depth = DefaultTelemetryDepth
@@ -55,6 +58,11 @@ func (n *Network) EnableTelemetry(depth int) *LinkTelemetry {
 		stall = 50
 	}
 	words := (len(n.links) + 63) / 64
+	if t := n.telemetry; t != nil && t.depth == depth && t.words == words && len(t.firstBlocked) == len(n.links) {
+		t.stall = stall
+		t.Reset()
+		return t
+	}
 	t := &LinkTelemetry{
 		net:          n,
 		stall:        stall,
@@ -75,6 +83,28 @@ func (n *Network) EnableTelemetry(depth int) *LinkTelemetry {
 
 // Telemetry returns the attached tap, or nil when telemetry is disabled.
 func (n *Network) Telemetry() *LinkTelemetry { return n.telemetry }
+
+// Reset clears every recorded sample — the ring, the cumulative per-link
+// aggregates and the streak trackers — without allocating, returning the tap
+// to its post-Enable state. Network.Reset calls it so an arena-reused
+// network starts each scenario point with virgin telemetry.
+func (t *LinkTelemetry) Reset() {
+	for i := range t.ring {
+		t.ring[i] = 0
+	}
+	for i := range t.cycleOf {
+		t.cycleOf[i] = 0
+	}
+	t.head, t.rows, t.samples = 0, 0, 0
+	for i := range t.firstBlocked {
+		t.firstBlocked[i] = 0
+		t.blockedCount[i] = 0
+		t.curStart[i] = 0
+		t.curLen[i] = 0
+		t.bestAt[i] = 0
+		t.bestLen[i] = 0
+	}
+}
 
 // linkBlocked reports whether a link's driving output port is blocked right
 // now: not disabled, its router holds work, and the port has made no

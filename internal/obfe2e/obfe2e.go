@@ -24,6 +24,9 @@ type Scrambler struct {
 // New returns a scrambler domain keyed by a chip-wide secret seed.
 func New(seed uint64) *Scrambler { return &Scrambler{seed: seed} }
 
+// Reseed rekeys the scrambler domain in place (arena reuse across runs).
+func (s *Scrambler) Reseed(seed uint64) { s.seed = seed }
+
 // key derives the pair key for (src, dst). Both endpoints can compute it;
 // a link trojan cannot (the seed never crosses a link).
 func (s *Scrambler) key(src, dst uint8) uint64 {

@@ -129,7 +129,7 @@ func (t *Table) ExtraHops() int {
 
 // Apply disables the links on the network and installs the rebuilt table.
 func Apply(n *noc.Network, disabled map[int]bool) (*Table, error) {
-	t, err := Build(n.Config(), n.Links(), disabled)
+	t, err := Build(n.Config(), n.LinkSlice(), disabled)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,15 @@ func NewHistogram() *Histogram {
 	return &Histogram{buckets: make([]uint64, 40), min: math.MaxUint64}
 }
 
+// Reset empties the histogram in place, reusing the bucket storage.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxUint64
+}
+
 // bucketOf maps a sample to its bucket index.
 func bucketOf(v uint64) int {
 	b := 0
@@ -171,6 +180,12 @@ func (s *Series) Add(cycle uint64, v float64) {
 
 // Len returns the point count.
 func (s *Series) Len() int { return len(s.Values) }
+
+// Reset empties the series in place, keeping the grown point storage.
+func (s *Series) Reset() {
+	s.Cycles = s.Cycles[:0]
+	s.Values = s.Values[:0]
+}
 
 // Max returns the maximum value and its cycle.
 func (s *Series) Max() (cycle uint64, v float64) {

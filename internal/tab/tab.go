@@ -1,0 +1,74 @@
+// Package tab renders experiment results as aligned plain-text tables. It
+// is the shared reporting substrate of the paper harnesses (internal/exp)
+// and the campaign aggregator (internal/campaign), which must format
+// identically for their outputs to be diffable against each other.
+package tab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries paper-vs-measured commentary for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Render formats the table as aligned plain text.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			} else {
+				sb.WriteString(c + "  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// F1 formats a float at 1 decimal, F2 at 2, F3 at 3, F4 at 4.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float at 2 decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float at 3 decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F4 formats a float at 4 decimals.
+func F4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Pct formats a fraction as a percentage at 1 decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -273,6 +273,18 @@ func New(target Target, yBits int, l flit.Layout) *HT {
 // Target returns the programmed target.
 func (h *HT) Target() Target { return h.target }
 
+// Reset disarms the trojan and rewinds its FSM, payload counter and strike
+// counters to the post-New state without allocating. The compiled comparator
+// taps and attackable-wire table are functions of the target and layout
+// alone, so they are preserved — simulation arenas memoize one HT per
+// (target, layout) and Reset it between scenario points.
+func (h *HT) Reset() {
+	h.killsw = false
+	h.state = Idle
+	h.plState = 0
+	h.Matches, h.Injections = 0, 0
+}
+
 // State returns the current FSM state.
 func (h *HT) State() State { return h.state }
 

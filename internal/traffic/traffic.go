@@ -246,6 +246,21 @@ func (m *Model) Generator(seed uint64) *Generator {
 	return &Generator{m: m, rng: xrand.New(seed), seq: make([]uint8, m.cfg.Cores())}
 }
 
+// Reset rewinds the generator to its post-construction state for the given
+// seed without allocating: the RNG is reseeded in place and the per-core
+// sequence numbers cleared, so the subsequent draw stream is identical to a
+// fresh Generator(seed). Simulation arenas use it to reuse one generator
+// across scenario points.
+func (g *Generator) Reset(seed uint64) {
+	g.rng.Seed(seed)
+	for i := range g.seq {
+		g.seq[i] = 0
+	}
+}
+
+// Model returns the model the generator draws from.
+func (g *Generator) Model() *Model { return g.m }
+
 // Tick rolls injection for every core for one cycle and calls inject for
 // each generated packet. inject reports acceptance; rejected packets are
 // simply dropped by the generator (the source is stalled, which the
@@ -285,6 +300,51 @@ func (g *Generator) Packet(core int) *flit.Packet {
 		}
 	}
 	return p
+}
+
+// TickInto is the allocation-free Tick: generated packets are written into
+// the caller-owned scratch packet, which inject must fully consume before
+// returning (noc.Network.Inject copies the flits into the NI queue, so
+// passing it through a closure over a network satisfies that). The RNG draw
+// order is exactly Tick's, so a generator driven by TickInto from a given
+// seed produces the same traffic as one driven by Tick.
+func (g *Generator) TickInto(scratch *flit.Packet, inject func(core int, p *flit.Packet) bool) {
+	cfg := g.m.cfg
+	for core := 0; core < cfg.Cores(); core++ {
+		r := cfg.CoreRouter(core)
+		if !g.rng.Bool(g.m.Rate * g.m.Intensity[r]) {
+			continue
+		}
+		g.PacketInto(core, scratch)
+		inject(core, scratch)
+	}
+}
+
+// PacketInto draws one packet originating at the given core into a
+// caller-owned packet, reusing its body storage once grown: the
+// allocation-free Packet. The RNG draw order (destination, VC, core,
+// address, data coin, body words) replicates Packet exactly, so the two are
+// interchangeable without perturbing a seeded run.
+func (g *Generator) PacketInto(core int, p *flit.Packet) {
+	cfg := g.m.cfg
+	src := cfg.CoreRouter(core)
+	dst := g.sampleDst(src)
+	g.seq[core]++
+	vc := uint8(g.rng.Intn(cfg.VCs))
+	dstC := uint8(g.rng.Intn(cfg.Concentration))
+	mem := uint32(dst)<<24 | uint32(g.rng.Intn(1<<20))
+	p.Hdr = flit.Header{VC: vc, DstR: uint8(dst), DstC: dstC, Mem: mem, Seq: g.seq[core]}
+	if g.rng.Bool(g.m.DataFraction) {
+		if cap(p.Body) < 4 {
+			p.Body = make([]uint64, 4) // cold: first data packet only; reused after
+		}
+		p.Body = p.Body[:4]
+		for i := range p.Body {
+			p.Body[i] = g.rng.Uint64()
+		}
+	} else {
+		p.Body = p.Body[:0]
+	}
 }
 
 // sampleDst draws a destination router from the model's matrix row.

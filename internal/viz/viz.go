@@ -121,7 +121,7 @@ func LinkMap(cfg noc.Config, title string, load func(from, to int) float64) stri
 func OccupancyHeatmap(n *noc.Network) string {
 	cfg := n.Config()
 	vals := make([]float64, cfg.Routers())
-	for _, l := range n.Links() {
+	for _, l := range n.LinkSlice() {
 		// Attribute each link's parked retransmission entries to its
 		// source router; input occupancy is not exposed per router, so use
 		// link telemetry as the congestion proxy.

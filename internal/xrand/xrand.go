@@ -14,6 +14,14 @@ type RNG struct {
 // New returns a generator deterministically derived from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-derives the generator's state from seed in place, producing the
+// exact stream a fresh New(seed) would: the reseed hook simulation arenas
+// use to reuse one RNG across runs without allocating.
+func (r *RNG) Seed(seed uint64) {
 	// splitmix64 expansion of the seed into the full state, as recommended
 	// by the xoshiro authors to avoid correlated low-entropy states.
 	x := seed
@@ -24,7 +32,6 @@ func New(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
