@@ -3,9 +3,11 @@
 // or pick one of: fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1,
 // table2, headline, ablations, detectability, migration, closedloop,
 // saturation. Extension studies outside the canonical set (currently:
-// topology, the cross-substrate attack/mitigation comparison, and scale,
-// the 4x4-vs-8x8 substrate-scaling study) are addressable by id but not
-// part of -exp all, so the canonical output stays regression-stable.
+// topology, the cross-substrate attack/mitigation comparison; scale, the
+// 4x4-vs-8x8 substrate-scaling study; locate, the localization ablation;
+// and adversary, the drop/misroute trojan families under secure-ack
+// monitoring) are addressable by id but not part of -exp all, so the
+// canonical output stays regression-stable.
 //
 // Experiments are independent and deterministically seeded, so -exp all
 // fans them out across -parallel worker goroutines (default: one per CPU)
@@ -28,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, topology, scale, all)")
+		which    = flag.String("exp", "all", "experiment id (fig1, fig2, fig8, fig9, fig10, fig11, fig12, table1, table2, headline, ablations, detectability, migration, closedloop, saturation, topology, scale, locate, adversary, all)")
 		bench    = flag.String("bench", "blackscholes", "benchmark for fig1")
 		topology = flag.String("topology", "mesh", "substrate for fig1's workload characterisation: "+strings.Join(noc.Topologies(), ", "))
 		width    = flag.Int("width", 4, "fig1 substrate columns (8 for an 8x8/256-core mesh)")

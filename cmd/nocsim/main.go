@@ -37,6 +37,9 @@ func main() {
 		warmup     = flag.Int("warmup", 1500, "cycles before the kill switch flips")
 		cycles     = flag.Int("cycles", 1500, "cycles simulated after the kill switch")
 		attack     = flag.Bool("attack", true, "deploy TASP trojans")
+		attackMode = flag.String("attack-mode", "flip", "trojan family: flip, drop, misroute")
+		hijack     = flag.Int("hijack", 0, "misroute diversion router (0 = farthest from the victim)")
+		secureAck  = flag.Bool("secure-ack", false, "run the secure-acknowledgment monitor and print its per-link verdicts")
 		links      = flag.Int("links", 2, "number of infected links (target-flow hottest)")
 		target     = flag.String("target", "dest", "trojan target kind: dest, src, destsrc, vc, mem, full")
 		dest       = flag.Int("dest", 0, "target destination router")
@@ -64,7 +67,15 @@ func main() {
 	cfg.TransientBER = *ber
 	cfg.Attack.Enabled = *attack
 	cfg.Attack.NumLinks = *links
+	cfg.Attack.Hijack = *hijack
 	cfg.Locate = *doLocate
+	cfg.SecureAck = *secureAck
+
+	kind, err := tasp.ParseTrojanKind(*attackMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Attack.Kind = kind
 
 	switch *target {
 	case "dest":
@@ -112,6 +123,10 @@ func main() {
 	c := res.Final
 	fmt.Printf("injected=%d delivered=%d retransmissions=%d corrected=%d inject-failures=%d\n",
 		c.InjectedPackets, c.DeliveredPackets, c.Retransmissions, c.CorrectedFaults, c.InjectFailures)
+	if c.DroppedFlits > 0 {
+		fmt.Printf("dropped flits=%d (retrans=%d in-flight=%d orphan=%d reconfig=%d)\n",
+			c.DroppedFlits, c.DroppedRetrans, c.DroppedInFlight, c.DroppedOrphan, c.DroppedReconfig)
+	}
 	fmt.Printf("throughput=%.3f pkt/cycle  avg latency=%.1f cycles  max=%d\n",
 		res.Throughput, res.AvgLatency, c.MaxLatency)
 	if len(res.Detections) > 0 {
@@ -129,6 +144,17 @@ func main() {
 	}
 	if res.ReroutedAt > 0 {
 		fmt.Printf("rerouted at cycle %d\n", res.ReroutedAt)
+	}
+	if len(res.AckVerdicts) > 0 {
+		fmt.Printf("secure-ack verdicts (first flagged at cycle %d):\n", res.AckFlaggedAt)
+		ids := make([]int, 0, len(res.AckVerdicts))
+		for id := range res.AckVerdicts { //nocvet:orderfree ids are sorted before use
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Printf("  link %d: %s\n", id, res.AckVerdicts[id])
+		}
 	}
 	if *doLocate && len(res.Suspects) > 0 {
 		net, nerr := noc.New(cfg.Noc)

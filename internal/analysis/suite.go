@@ -72,6 +72,39 @@ var CampaignWriterFields = []ProtectedField{
 // run.go constructs the writer but only reads its cursors afterwards.
 var CampaignWriterFiles = []string{"writer.go"}
 
+// DetectHotPathRoots are the runtime detectors' per-sample entry points.
+// The secure-ack monitor is fed once per link at every telemetry sample
+// inside the campaign worker loop, so Observe and the arena-reuse Reset
+// must stay allocation-free like the simulator phases that feed them.
+var DetectHotPathRoots = []string{
+	"AckMonitor.Observe",
+	"AckMonitor.Reset",
+	"AckMonitor.Class",
+	"AckMonitor.Flagged",
+}
+
+// DetectMonitorFields is the secure-ack monitor's windowed state: verdicts
+// escalate monotonically (a conviction latches), which only holds if every
+// transition goes through Observe/Reset in ack.go.
+var DetectMonitorFields = []ProtectedField{
+	{Type: "AckMonitor", Field: "prevGap"},
+	{Type: "AckMonitor", Field: "prevViol"},
+	{Type: "AckMonitor", Field: "streak"},
+	{Type: "AckMonitor", Field: "class"},
+}
+
+// DetectMonitorFiles are the files allowed to mutate DetectMonitorFields.
+var DetectMonitorFiles = []string{"ack.go"}
+
+// LocateHotPathRoots is the localization engine's per-sample entry point:
+// RankWeighted runs at every telemetry sample of a locate-enabled run (the
+// SuspectTrace series), over every link. Its two deliberate allocations —
+// amortized scratch growth and the caller-retained result copy — are
+// annotated at their sites.
+var LocateHotPathRoots = []string{
+	"Engine.RankWeighted",
+}
+
 // simPackage reports whether an import path is simulation code bound by
 // the determinism contracts. Everything in this module feeds the golden
 // files or the seed-determinism tests except the analysis tooling itself —
@@ -96,6 +129,15 @@ func SuiteFor(importPath string) []*Analyzer {
 		suite = append(suite,
 			NewHotAlloc(CampaignHotPathRoots),
 			NewTelemetrySafe(CampaignWriterFields, CampaignWriterFiles),
+		)
+	case "tasp/internal/detect":
+		suite = append(suite,
+			NewHotAlloc(DetectHotPathRoots),
+			NewTelemetrySafe(DetectMonitorFields, DetectMonitorFiles),
+		)
+	case "tasp/internal/locate":
+		suite = append(suite,
+			NewHotAlloc(LocateHotPathRoots),
 		)
 	}
 	return suite

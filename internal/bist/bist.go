@@ -30,6 +30,10 @@ type Report struct {
 	// others of the same polarity — transient upsets or trojan strikes,
 	// not permanent faults.
 	Inconsistent int
+	// Lost counts patterns an adversary swallowed outright (a drop trojan
+	// aliasing on the stimulus). Lost patterns yield no wire observations;
+	// a nonzero count is itself a strong in-flight-loss signal.
+	Lost int
 }
 
 // Permanent reports whether the scan found any stuck wire.
@@ -64,7 +68,7 @@ var scanPatterns = patterns()
 // Scan drives the pattern set through the tap and classifies each wire.
 // cycle is the simulation time the scan starts at (patterns advance it by
 // one per traversal, so time-dependent injectors behave naturally).
-func Scan(cycle uint64, tap fault.Injector) Report {
+func Scan(cycle uint64, tap fault.Adversary) Report {
 	type obs struct {
 		drove0, drove1     int // times each value was driven
 		stuckAs0, stuckAs1 int // times the wire read 0/1 while driven opposite
@@ -72,12 +76,17 @@ func Scan(cycle uint64, tap fault.Injector) Report {
 	// A fixed-size array keeps the observation table on the stack; the
 	// pattern set is the precomputed package-level stimulus.
 	var wires [ecc.CodewordBits]obs
+	lost := 0
 	ps := scanPatterns
 	for i, p := range ps {
 		// Patterns are framed as single-flit packets: the worst case for a
 		// framing-aware trojan, which may alias on them and expose itself
-		// as inconsistency.
-		got := tap.Inspect(cycle+uint64(i), p, fault.Framing{Head: true, Tail: true})
+		// as inconsistency (flips) or loss (swallows).
+		got, oc := tap.Strike(cycle+uint64(i), p, fault.Framing{Head: true, Tail: true})
+		if oc == fault.Swallow {
+			lost++
+			continue
+		}
 		for w := 0; w < ecc.CodewordBits; w++ {
 			sent, recv := p.Bit(w), got.Bit(w)
 			if sent == 1 {
@@ -93,7 +102,7 @@ func Scan(cycle uint64, tap fault.Injector) Report {
 			}
 		}
 	}
-	rep := Report{PatternsRun: len(ps)}
+	rep := Report{PatternsRun: len(ps), Lost: lost}
 	for w, o := range wires {
 		switch {
 		case o.drove1 > 0 && o.stuckAs0 == o.drove1:

@@ -286,3 +286,75 @@ func TestAggregate(t *testing.T) {
 		t.Error("missing arms should be an error")
 	}
 }
+
+// TestAttackModeGrid exercises the adversary axes end to end: trojan-family
+// modes and explicit infected-link lists expand in canonical order, the
+// records carry the drop-cause split and secure-ack verdict counts, and the
+// sweep stays byte-deterministic across worker counts.
+func TestAttackModeGrid(t *testing.T) {
+	spec := Spec{
+		Topologies: []string{"mesh"},
+		Benchmarks: []string{"blackscholes"},
+		Attacks: []AttackSpec{
+			{Kind: "dest"},
+			{Kind: "dest", Mode: "drop"},
+			{Kind: "dest", Mode: "misroute"},
+			{Kind: "dest", Mode: "drop", Links: []int{3, 17}},
+		},
+		Mitigations: []string{"none"},
+		Seeds:       []uint64{1},
+		Warmup:      400,
+		Measure:     400,
+		SecureAck:   true,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scenarios := spec.Expand()
+	if len(scenarios) != 4 {
+		t.Fatalf("expected 4 points, got %d", len(scenarios))
+	}
+	wantNames := []string{"dest", "dest-drop", "dest-misroute", "dest-drop"}
+	for i, sc := range scenarios {
+		if got := sc.Attack.Name(); got != wantNames[i] {
+			t.Errorf("point %d attack name = %q, want %q", i, got, wantNames[i])
+		}
+	}
+	bad := spec
+	bad.Attacks = []AttackSpec{{Kind: "dest", Mode: "teleport"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown trojan mode should fail validation")
+	}
+
+	ref := runToBytes(t, spec, Options{Workers: 1})
+	if got := runToBytes(t, spec, Options{Workers: 4}); !bytes.Equal(ref, got) {
+		t.Error("attack-mode sweep not byte-deterministic across worker counts")
+	}
+	records, err := ReadRecords(bytes.NewReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip, drop, misroute, pinned := records[0], records[1], records[2], records[3]
+	if flip.AckFlagged != 0 || flip.DroppedInFlight != 0 {
+		t.Errorf("flip arm shows quiet-trojan artefacts: %+v", flip)
+	}
+	if drop.DroppedInFlight == 0 || drop.DroppedOrphan == 0 {
+		t.Errorf("drop arm lost nothing: inflight=%d orphan=%d", drop.DroppedInFlight, drop.DroppedOrphan)
+	}
+	if drop.AckFlagged != len(drop.InfectedLinks) {
+		t.Errorf("drop arm flagged %d of %d infected links", drop.AckFlagged, len(drop.InfectedLinks))
+	}
+	if misroute.DroppedInFlight != 0 {
+		t.Errorf("misroute arm swallowed flits: %d", misroute.DroppedInFlight)
+	}
+	if misroute.AckFlagged != len(misroute.InfectedLinks) {
+		t.Errorf("misroute arm flagged %d of %d infected links", misroute.AckFlagged, len(misroute.InfectedLinks))
+	}
+	if len(pinned.InfectedLinks) != 2 || pinned.InfectedLinks[0] != 3 || pinned.InfectedLinks[1] != 17 {
+		t.Errorf("explicit link list not honoured: %v", pinned.InfectedLinks)
+	}
+	if pinned.AckFlagged == 0 {
+		t.Error("pinned-links drop arm never convicted")
+	}
+}

@@ -34,6 +34,7 @@ type Spec struct {
 	Warmup       int     `json:"warmup,omitempty"`
 	Measure      int     `json:"measure,omitempty"`
 	Locate       bool    `json:"locate,omitempty"`
+	SecureAck    bool    `json:"secure_ack,omitempty"`
 	TransientBER float64 `json:"transient_ber,omitempty"`
 }
 
@@ -121,6 +122,7 @@ func (s Spec) Expand() []Scenario {
 								Attack:       attack,
 								Mitigation:   mit,
 								Locate:       s.Locate,
+								SecureAck:    s.SecureAck,
 								TransientBER: s.TransientBER,
 							})
 						}

@@ -39,6 +39,16 @@ type Record struct {
 	TrojanLinks     int     `json:"trojan_links"`
 	BlockedRouters  int     `json:"blocked_routers"`
 	Routers         int     `json:"routers"`
+
+	// Flit-loss split by cause (noc.Counters): trojan-induced in-flight
+	// swallows and their orphaned bodies vs mitigation-induced losses.
+	DroppedInFlight uint64 `json:"dropped_inflight"`
+	DroppedRetrans  uint64 `json:"dropped_retrans"`
+	DroppedOrphan   uint64 `json:"dropped_orphan"`
+	DroppedReconfig uint64 `json:"dropped_reconfig"`
+	// AckFlagged counts links the secure-ack monitor convicted as droppers
+	// or misrouters (0 on runs without SecureAck).
+	AckFlagged int `json:"ack_flagged"`
 }
 
 // Fill populates the outcome fields from a run's results (the scenario
@@ -70,6 +80,16 @@ func (r *Record) Fill(res *core.Results) {
 	r.BlockedRouters = 0
 	if n := len(res.Samples); n > 0 {
 		r.BlockedRouters = res.Samples[n-1].BlockedRouters
+	}
+	r.DroppedInFlight = res.Final.DroppedInFlight
+	r.DroppedRetrans = res.Final.DroppedRetrans
+	r.DroppedOrphan = res.Final.DroppedOrphan
+	r.DroppedReconfig = res.Final.DroppedReconfig
+	r.AckFlagged = 0
+	for _, c := range res.AckVerdicts { //nocvet:orderfree commutative count
+		if c == detect.AckDropper || c == detect.AckMisroute {
+			r.AckFlagged++
+		}
 	}
 }
 
@@ -166,5 +186,15 @@ func (r *Record) AppendJSONL(dst []byte) []byte {
 	dst = strconv.AppendInt(dst, int64(r.BlockedRouters), 10)
 	dst = appendField(dst, false, "routers")
 	dst = strconv.AppendInt(dst, int64(r.Routers), 10)
+	dst = appendField(dst, false, "dropped_inflight")
+	dst = strconv.AppendUint(dst, r.DroppedInFlight, 10)
+	dst = appendField(dst, false, "dropped_retrans")
+	dst = strconv.AppendUint(dst, r.DroppedRetrans, 10)
+	dst = appendField(dst, false, "dropped_orphan")
+	dst = strconv.AppendUint(dst, r.DroppedOrphan, 10)
+	dst = appendField(dst, false, "dropped_reconfig")
+	dst = strconv.AppendUint(dst, r.DroppedReconfig, 10)
+	dst = appendField(dst, false, "ack_flagged")
+	dst = strconv.AppendInt(dst, int64(r.AckFlagged), 10)
 	return append(dst, '}', '\n')
 }

@@ -34,14 +34,28 @@ type AttackSpec struct {
 	// NumLinks is how many optimally-placed links the attacker infects
 	// (0 = the protocol default of 2).
 	NumLinks int `json:"num_links,omitempty"`
+	// Links explicitly lists the infected link ids, overriding the optimal
+	// placement (and NumLinks). Empty = let the attacker place.
+	Links []int `json:"links,omitempty"`
 	// YBits is the trojan's payload-counter width (0 = tasp default).
 	YBits int `json:"y_bits,omitempty"`
+	// Mode selects the trojan family on the infected links: "flip" (or
+	// empty — the TASP double-flip default), "drop" or "misroute".
+	Mode string `json:"mode,omitempty"`
+	// Hijack is the router misrouted packets are diverted to ("misroute"
+	// mode only; 0 = auto-select the farthest router from the victim).
+	Hijack int `json:"hijack,omitempty"`
 }
 
-// Name is the attack's identity in records and aggregation group keys.
+// Name is the attack's identity in records and aggregation group keys. Non-
+// default trojan families are qualified ("dest-drop") so a grid sweeping
+// modes aggregates them separately.
 func (a AttackSpec) Name() string {
 	if a.Kind == "" || a.Kind == "none" {
 		return "none"
+	}
+	if a.Mode != "" && a.Mode != "flip" {
+		return a.Kind + "-" + a.Mode
 	}
 	return a.Kind
 }
@@ -91,6 +105,9 @@ type Scenario struct {
 	// Locate enables the localization engine (per-point cost; off in sweeps
 	// unless the sweep is about localization).
 	Locate bool `json:"locate,omitempty"`
+	// SecureAck enables secure-acknowledgment monitoring — the runtime
+	// detector for the drop and misroute trojan families.
+	SecureAck bool `json:"secure_ack,omitempty"`
 	// TransientBER adds background single-event upsets.
 	TransientBER float64 `json:"transient_ber,omitempty"`
 }
@@ -126,7 +143,16 @@ func (s Scenario) Config() (core.ExperimentConfig, error) {
 	if s.Attack.NumLinks > 0 {
 		cfg.Attack.NumLinks = s.Attack.NumLinks
 	}
+	if len(s.Attack.Links) > 0 {
+		cfg.Attack.Links = s.Attack.Links
+	}
 	cfg.Attack.YBits = s.Attack.YBits
+	kind, err := tasp.ParseKind(s.Attack.Mode)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Attack.Kind = kind
+	cfg.Attack.Hijack = s.Attack.Hijack
 	if s.Mitigation != "" {
 		m, err := core.ParseMitigation(s.Mitigation)
 		if err != nil {
@@ -135,6 +161,7 @@ func (s Scenario) Config() (core.ExperimentConfig, error) {
 		cfg.Mitigation = m
 	}
 	cfg.Locate = s.Locate
+	cfg.SecureAck = s.SecureAck
 	cfg.TransientBER = s.TransientBER
 	return cfg, nil
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"tasp/internal/detect"
+	"tasp/internal/tasp"
+)
+
+// TestDropMisrouteDetectionAndLocalization is the end-to-end acceptance
+// check for the quiet trojan families: on every topology, under both drop
+// and misroute attacks, the secure-ack monitor must convict every infected
+// link with the right verdict and the locate engine must rank an infected
+// link first — from ack-gap/violation evidence alone, since neither family
+// ever raises a NACK for the fault-triggered detector.
+func TestDropMisrouteDetectionAndLocalization(t *testing.T) {
+	wantClass := map[tasp.Kind]detect.AckClass{
+		tasp.KindDrop:     detect.AckDropper,
+		tasp.KindMisroute: detect.AckMisroute,
+	}
+	r := NewRunner()
+	for _, topo := range []string{"mesh", "torus", "ring"} {
+		for _, kind := range []tasp.Kind{tasp.KindDrop, tasp.KindMisroute} {
+			for _, seed := range []uint64{1, 42} {
+				t.Run(topo+"/"+kind.String(), func(t *testing.T) {
+					cfg := quickExp()
+					cfg.Noc.Topo = topo
+					cfg.Seed = seed
+					cfg.Attack.Kind = kind
+					cfg.SecureAck = true
+					cfg.Locate = true
+					res, err := r.Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.InfectedLinks) == 0 {
+						t.Fatal("no infected links placed")
+					}
+					if res.HTInjections == 0 {
+						t.Fatal("trojans never struck")
+					}
+					if kind == tasp.KindDrop && res.Final.DroppedInFlight == 0 {
+						t.Fatal("drop attack swallowed nothing")
+					}
+					for _, id := range res.InfectedLinks {
+						if got := res.AckVerdicts[id]; got != wantClass[kind] {
+							t.Errorf("seed %d: link %d verdict = %v, want %v (all verdicts: %v)",
+								seed, id, got, wantClass[kind], res.AckVerdicts)
+						}
+					}
+					if res.AckFlaggedAt == 0 {
+						t.Errorf("seed %d: monitor never flagged a link", seed)
+					}
+					if len(res.Suspects) == 0 {
+						t.Fatalf("seed %d: locate produced no ranking", seed)
+					}
+					rank1 := res.Suspects[0].LinkID
+					hit := false
+					for _, id := range res.InfectedLinks {
+						if id == rank1 {
+							hit = true
+						}
+					}
+					if !hit {
+						t.Errorf("seed %d: rank-1 = link %d, want one of the infected %v",
+							seed, rank1, res.InfectedLinks)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdversaryRunsAreDeterministic pins the detector verdicts and the
+// locate ranking across independent arenas: two fresh runners on the same
+// configuration must agree exactly, for both quiet families at both pinned
+// seeds.
+func TestAdversaryRunsAreDeterministic(t *testing.T) {
+	for _, kind := range []tasp.Kind{tasp.KindDrop, tasp.KindMisroute} {
+		for _, seed := range []uint64{1, 42} {
+			cfg := quickExp()
+			cfg.Seed = seed
+			cfg.Attack.Kind = kind
+			cfg.SecureAck = true
+			cfg.Locate = true
+
+			a, err := NewRunner().Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewRunner().Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Throughput != b.Throughput || a.HTInjections != b.HTInjections ||
+				a.AckFlaggedAt != b.AckFlaggedAt ||
+				a.Final.DroppedInFlight != b.Final.DroppedInFlight ||
+				a.Final.DroppedOrphan != b.Final.DroppedOrphan {
+				t.Fatalf("%v seed %d: scalar results diverged", kind, seed)
+			}
+			if len(a.AckVerdicts) != len(b.AckVerdicts) {
+				t.Fatalf("%v seed %d: verdict sets differ: %v vs %v", kind, seed, a.AckVerdicts, b.AckVerdicts)
+			}
+			for id, c := range a.AckVerdicts {
+				if b.AckVerdicts[id] != c {
+					t.Fatalf("%v seed %d: link %d verdict %v vs %v", kind, seed, id, c, b.AckVerdicts[id])
+				}
+			}
+			if len(a.Suspects) != len(b.Suspects) {
+				t.Fatalf("%v seed %d: ranking lengths differ", kind, seed)
+			}
+			for i := range a.Suspects {
+				if a.Suspects[i] != b.Suspects[i] {
+					t.Fatalf("%v seed %d: ranking diverged at %d: %+v vs %+v",
+						kind, seed, i, a.Suspects[i], b.Suspects[i])
+				}
+			}
+		}
+	}
+}

@@ -57,14 +57,25 @@ func ParseMitigation(s string) (Mitigation, error) {
 	return NoMitigation, fmt.Errorf("unknown mitigation %q (want none, s2s-lob, e2e-obfuscation, tdm-qos or rerouting)", s)
 }
 
-// AttackConfig describes the TASP deployment for a run.
+// AttackConfig describes the trojan deployment for a run.
 type AttackConfig struct {
 	Enabled bool
+	// Kind selects the trojan family on the infected links: the TASP
+	// double-flip (the zero value), the ACK-forging dropper, or the
+	// header-rewriting misrouter. All families share the trigger
+	// architecture, placement analysis and kill-switch protocol.
+	Kind tasp.Kind
 	// Target is the programmed comparator value. The zero value targets
 	// destination router 0 — the primary core of most benchmarks.
 	Target tasp.Target
 	// YBits is the payload-counter width (0 = tasp.DefaultPayloadBits).
+	// Flip family only.
 	YBits int
+	// Hijack is the router misrouted packets are delivered to (misroute
+	// family only). 0 selects automatically: the reachable router farthest
+	// from the victim by route-walk distance, so the diversion is maximal
+	// and the first hop diverges from the legitimate path.
+	Hijack int
 	// Links explicitly lists infected link ids. When empty, the NumLinks
 	// hottest links for the workload are infected (the attacker's optimal
 	// placement from Section III-A).
@@ -107,6 +118,14 @@ type ExperimentConfig struct {
 	// Results.SuspectTrace). Observation-only — it never perturbs the
 	// simulation.
 	Locate bool
+
+	// SecureAck enables secure-acknowledgment monitoring: every link's
+	// sent/received counters are cross-checked each SampleEvery window
+	// (detect.AckMonitor), convicting droppers and misrouters the
+	// fault-triggered detector can never see. Verdicts land in
+	// Results.AckVerdicts and, when Locate also runs, feed the ranking's
+	// evidence. Observation-only.
+	SecureAck bool
 }
 
 // DefaultExperiment returns the paper's standard protocol: the 64-core mesh,
@@ -165,6 +184,12 @@ type Results struct {
 	Obfuscated    uint64
 	StallCycles   uint64
 	BISTScans     uint64
+
+	// AckVerdicts holds the secure-ack monitor's non-healthy link verdicts
+	// (SecureAck runs only); AckFlaggedAt is the cycle the first link was
+	// convicted as a dropper or misrouter (0 = never).
+	AckVerdicts  map[int]detect.AckClass
+	AckFlaggedAt uint64
 
 	// ReroutedAt is the cycle the rerouting baseline reconfigured (0 if
 	// it never did).

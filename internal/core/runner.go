@@ -65,8 +65,10 @@ type placementKey struct {
 }
 
 type trojanKey struct {
+	kind   tasp.Kind
 	target tasp.Target
 	yBits  int
+	hijack int
 }
 
 // arena is one reusable simulation platform: a network plus every per-link
@@ -83,8 +85,17 @@ type arena struct {
 	isInfected []bool             // per link id scratch
 
 	placements map[placementKey][]int
-	trojans    map[trojanKey][]*tasp.HT
+	trojans    map[trojanKey][]tasp.Trojan
 	gens       map[*traffic.Model]*traffic.Generator
+
+	// hijacks memoizes the auto-selected misroute hijack router per victim;
+	// nextAt is the (router, port) -> downstream-router table the selection
+	// walks, built lazily on first misroute point.
+	hijacks map[int]int
+	nextAt  []int
+
+	// ackmon is the memoized secure-ack monitor (SecureAck points only).
+	ackmon *detect.AckMonitor
 
 	tdm         *qos.TDM
 	tdmSchedule func(cycle uint64, vc uint8) bool
@@ -125,8 +136,9 @@ func (r *Runner) arena(cfg noc.Config) (*arena, error) {
 		transients: make([]*fault.Transient, len(links)),
 		isInfected: make([]bool, len(links)),
 		placements: map[placementKey][]int{},
-		trojans:    map[trojanKey][]*tasp.HT{},
+		trojans:    map[trojanKey][]tasp.Trojan{},
 		gens:       map[*traffic.Model]*traffic.Generator{},
+		hijacks:    map[int]int{},
 	}
 	for i := range a.wires {
 		a.wires[i] = NewSecureWire(fault.None, 0, layout)
@@ -164,21 +176,74 @@ func (a *arena) placement(m *traffic.Model, k int, target tasp.Target) []int {
 	return p
 }
 
-// trojanSet returns n reset trojans for a target, reusing previously
-// compiled instances (the comparator taps and wire tables depend only on
-// the target and the arena's layout).
-func (a *arena) trojanSet(target tasp.Target, yBits, n int) []*tasp.HT {
-	key := trojanKey{target, yBits}
-	hts := a.trojans[key]
-	for len(hts) < n {
-		hts = append(hts, tasp.New(target, yBits, a.net.Layout()))
+// trojanSet returns n reset trojans of one family for a target, reusing
+// previously compiled instances (the comparator taps and wire tables depend
+// only on the family, target, hijack and the arena's layout).
+func (a *arena) trojanSet(kind tasp.Kind, target tasp.Target, yBits, hijack, n int) []tasp.Trojan {
+	key := trojanKey{kind, target, yBits, hijack}
+	ts := a.trojans[key]
+	for len(ts) < n {
+		switch kind {
+		case tasp.KindDrop:
+			ts = append(ts, tasp.NewDropper(target, a.net.Layout()))
+		case tasp.KindMisroute:
+			ts = append(ts, tasp.NewMisrouter(target, uint8(hijack), a.net.Layout()))
+		default:
+			ts = append(ts, tasp.New(target, yBits, a.net.Layout()))
+		}
 	}
-	a.trojans[key] = hts
-	hts = hts[:n]
-	for _, ht := range hts {
-		ht.Reset()
+	a.trojans[key] = ts
+	ts = ts[:n]
+	for _, t := range ts {
+		t.Reset()
 	}
-	return hts
+	return ts
+}
+
+// autoHijack picks the misroute hijack router for a victim: the reachable
+// router farthest from the victim by default-route walk distance (ties to the
+// higher id), so the diversion path is maximal and, on every supported
+// substrate, already diverges at the first hop. Memoized per victim — the
+// route walk is O(R^2) and must not recur per campaign point.
+func (a *arena) autoHijack(victim int) int {
+	if h, ok := a.hijacks[victim]; ok {
+		return h
+	}
+	t := a.net.Topology()
+	R := t.Routers()
+	if a.nextAt == nil {
+		a.nextAt = make([]int, R*noc.MaxPorts)
+		for i := range a.nextAt {
+			a.nextAt[i] = -1
+		}
+		for _, l := range a.net.LinkSlice() {
+			a.nextAt[l.From*noc.MaxPorts+l.FromPort] = l.To
+		}
+	}
+	best, bestDist := victim, -1
+	for cand := 0; cand < R; cand++ {
+		if cand == victim {
+			continue
+		}
+		r, dist := victim, 0
+		for hop := 0; r != cand && hop <= R; hop++ {
+			nxt := a.nextAt[r*noc.MaxPorts+t.Route(r, cand)]
+			if nxt < 0 {
+				dist = -1
+				break
+			}
+			r = nxt
+			dist++
+		}
+		if r != cand || dist < 0 {
+			continue
+		}
+		if dist > bestDist || (dist == bestDist && cand > best) {
+			best, bestDist = cand, dist
+		}
+	}
+	a.hijacks[victim] = best
+	return best
 }
 
 // generator returns the memoized traffic generator for a model, rewound to
@@ -225,6 +290,12 @@ func resetResults(res *Results, cfg ExperimentConfig) {
 		clear(res.TriggerScopes)
 	}
 	res.Obfuscated, res.StallCycles, res.BISTScans = 0, 0, 0
+	if res.AckVerdicts == nil {
+		res.AckVerdicts = map[int]detect.AckClass{}
+	} else {
+		clear(res.AckVerdicts)
+	}
+	res.AckFlaggedAt = 0
 	res.ReroutedAt = 0
 	res.VictimDelivered = 0
 	res.FirstTrojanAt = 0
@@ -304,9 +375,13 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 	if wantCap <= 0 {
 		wantCap = detect.DefaultHistoryCap
 	}
-	var trojans []*tasp.HT
+	hijack := cfg.Attack.Hijack
+	if cfg.Attack.Enabled && cfg.Attack.Kind == tasp.KindMisroute && hijack == 0 {
+		hijack = a.autoHijack(int(cfg.Attack.Target.DstR))
+	}
+	var trojans []tasp.Trojan
 	if cfg.Attack.Enabled && len(infected) > 0 {
-		trojans = a.trojanSet(cfg.Attack.Target, yBits, len(infected))
+		trojans = a.trojanSet(cfg.Attack.Kind, cfg.Attack.Target, yBits, hijack, len(infected))
 	}
 	for i := range a.isInfected {
 		a.isInfected[i] = false
@@ -332,7 +407,7 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 			chain = append(chain, tr)
 		}
 		a.chains[l.ID] = chain
-		var tap fault.Injector = fault.None
+		var tap fault.Adversary = fault.None
 		if len(chain) > 0 {
 			// *Chain (not Chain) keeps the interface assignment pointer-
 			// shaped: boxing the slice header would allocate per link.
@@ -381,7 +456,7 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 	a.enableAt = enableAt
 	net.SetDelivered(a.deliveredFn)
 
-	// ---- localization layer ----
+	// ---- localization + secure-ack layers ----
 	var tel *noc.LinkTelemetry
 	var eng *locate.Engine
 	if cfg.Locate {
@@ -391,14 +466,29 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 			a.evScratch = make(map[int]locate.LinkEvidence, len(a.wires))
 		}
 	}
+	var ackmon *detect.AckMonitor
+	if cfg.SecureAck {
+		if a.ackmon == nil {
+			a.ackmon = detect.NewAckMonitor(len(net.LinkSlice()))
+		} else {
+			a.ackmon.Reset()
+		}
+		ackmon = a.ackmon
+	}
 	gatherEvidence := func() map[int]locate.LinkEvidence {
 		for _, l := range net.LinkSlice() {
 			op := net.LinkOutput(l.ID)
-			a.evScratch[l.ID] = locate.LinkEvidence{
+			ev := locate.LinkEvidence{
 				Class:           a.wires[l.ID].Detector.Classification(),
 				Retransmissions: op.Retransmissions,
 				FlitsSent:       op.FlitsSent,
+				AckGap:          op.FlitsSent - op.FlitsRecv,
+				RouteViolations: op.RouteViolations,
 			}
+			if ackmon != nil {
+				ev.Ack = ackmon.Class(l.ID)
+			}
+			a.evScratch[l.ID] = ev
 		}
 		return a.evScratch
 	}
@@ -447,6 +537,20 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 				}
 			}
 			res.Samples = append(res.Samples, s)
+			if ackmon != nil {
+				for _, l := range net.LinkSlice() {
+					op := net.LinkOutput(l.ID)
+					ackmon.Observe(l.ID, detect.AckObservation{
+						FlitsSent:       op.FlitsSent,
+						FlitsRecv:       op.FlitsRecv,
+						RouteViolations: op.RouteViolations,
+						Blocked:         net.LinkBlocked(l.ID),
+					})
+				}
+				if res.AckFlaggedAt == 0 && ackmon.Flagged() > 0 {
+					res.AckFlaggedAt = net.Cycle()
+				}
+			}
 			if tel != nil {
 				tel.Sample()
 				if net.Cycle() >= enableAt {
@@ -468,9 +572,17 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 		res.Throughput = float64(res.Final.DeliveredPackets-res.AtEnable.DeliveredPackets) / float64(cfg.Measure)
 	}
 	res.AvgLatency = res.Final.AvgLatency()
-	for _, ht := range trojans {
-		res.HTMatches += ht.Matches
-		res.HTInjections += ht.Injections
+	for _, t := range trojans {
+		m, s := t.Stats()
+		res.HTMatches += m
+		res.HTInjections += s
+	}
+	if ackmon != nil {
+		for _, l := range net.LinkSlice() {
+			if c := ackmon.Class(l.ID); c != detect.AckHealthy {
+				res.AckVerdicts[l.ID] = c
+			}
+		}
 	}
 	if eng != nil {
 		res.Suspects = eng.Rank(tel, gatherEvidence())

@@ -27,9 +27,9 @@ import (
 // transient), and from attempt 2 on the L-Ob methods are walked in
 // escalation order.
 type SecureWire struct {
-	// Tap is the physical fault source on the link (TASP, transient,
-	// stuck-at or a chain). Never nil after NewSecureWire.
-	Tap fault.Injector
+	// Tap is the physical fault source on the link (any trojan family,
+	// transient, stuck-at or a chain). Never nil after NewSecureWire.
+	Tap fault.Adversary
 	// Detector is the downstream threat source detector.
 	Detector *detect.Detector
 	// Log is the upstream per-flow method log.
@@ -49,6 +49,7 @@ type SecureWire struct {
 	// Counters.
 	Corrected   uint64 // single-bit upsets fixed by SECDED
 	Dropped     uint64 // uncorrectable traversals (NACKs)
+	Swallowed   uint64 // flits an adversary consumed with a forged ACK
 	Obfuscated  uint64 // traversals sent under an L-Ob method
 	BISTScans   uint64 // scans triggered by the detector
 	StallCycles uint64 // total undo penalty charged downstream
@@ -57,7 +58,7 @@ type SecureWire struct {
 // NewSecureWire builds a mitigated link around the given fault tap. The
 // layout is the network's flit-header layout; both endpoints' hardware (the
 // L-Ob granularity windows and the flow latcher) is generated from it.
-func NewSecureWire(tap fault.Injector, keySeed uint64, l flit.Layout) *SecureWire {
+func NewSecureWire(tap fault.Adversary, keySeed uint64, l flit.Layout) *SecureWire {
 	if tap == nil {
 		tap = fault.None
 	}
@@ -86,7 +87,7 @@ func (w *SecureWire) WithMitigation(on bool) *SecureWire {
 // granularity windows are layout-derived and preserved — a wire belongs to
 // one network (hence one layout) for its whole life, which is exactly the
 // campaign arena's reuse pattern.
-func (w *SecureWire) Reset(tap fault.Injector, keySeed uint64) {
+func (w *SecureWire) Reset(tap fault.Adversary, keySeed uint64) {
 	if tap == nil {
 		tap = fault.None
 	}
@@ -96,7 +97,8 @@ func (w *SecureWire) Reset(tap fault.Injector, keySeed uint64) {
 	w.Mitigated = true
 	w.key.Reseed(keySeed)
 	clear(w.flows)
-	w.Corrected, w.Dropped, w.Obfuscated, w.BISTScans, w.StallCycles = 0, 0, 0, 0, 0
+	w.Corrected, w.Dropped, w.Swallowed, w.Obfuscated = 0, 0, 0, 0
+	w.BISTScans, w.StallCycles = 0, 0
 }
 
 // flowOf resolves the flow a flit belongs to, latching it from head flits.
@@ -150,7 +152,15 @@ func (w *SecureWire) Transmit(cycle uint64, f flit.Flit, vc uint8, attempt int) 
 		w.Obfuscated++
 		cw = w.windows.Apply(cw, choice, key)
 	}
-	cw = w.Tap.Inspect(cycle, cw, fault.Framing{Head: f.IsHead(), Tail: f.IsTail()})
+	cw, oc := w.Tap.Strike(cycle, cw, fault.Framing{Head: f.IsHead(), Tail: f.IsTail()})
+	if oc == fault.Swallow {
+		// The adversary consumed the flit and forged the ACK. The detector
+		// never sees a syndrome — no NACK, no fault event — which is exactly
+		// why drop trojans need the secure-ack monitor, not this wire's
+		// threat detector.
+		w.Swallowed++
+		return f, noc.TxResult{OK: true, Swallowed: true}
+	}
 	if choice.Method != lob.None {
 		cw = w.windows.Undo(cw, choice, key)
 	}

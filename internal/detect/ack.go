@@ -1,0 +1,157 @@
+// Secure-acknowledgment monitoring: the runtime counter to trojans the
+// fault-triggered detector (detect.go) can never see. A drop trojan swallows
+// flits and forges the link ACK — no syndrome, no NACK, no fault event — and
+// a misroute trojan re-encodes a valid codeword, so on both the per-link
+// threat detector stays Healthy forever. The secure-ack scheme instead
+// cross-checks the two ends of every link: the sender's count of acknowledged
+// traversals against the receiver's count of actual arrivals. On a healthy
+// link the two agree at all times; a gap that keeps growing while the link is
+// demonstrably flowing (no blocked ports to blame) is in-flight loss, and an
+// arrival that the routing function would never have produced is an in-flight
+// header rewrite.
+package detect
+
+import "fmt"
+
+// AckClass is the secure-ack monitor's verdict about a link.
+type AckClass uint8
+
+// Secure-ack verdicts.
+const (
+	// AckHealthy: sent and received counts agree, arrivals conform to the
+	// route function.
+	AckHealthy AckClass = iota
+	// AckSuspect: the sent/received gap grew this window, but not yet for
+	// enough consecutive windows to convict.
+	AckSuspect
+	// AckDropper: the gap grew over MinGapWindows consecutive windows with
+	// the link unblocked — flits are being consumed in flight under forged
+	// ACKs.
+	AckDropper
+	// AckMisroute: the receiving side saw route-violating arrivals —
+	// headers are being rewritten in flight.
+	AckMisroute
+)
+
+// String names the verdict as experiment records spell it.
+func (c AckClass) String() string {
+	switch c {
+	case AckHealthy:
+		return "healthy"
+	case AckSuspect:
+		return "ack-suspect"
+	case AckDropper:
+		return "dropper"
+	case AckMisroute:
+		return "misroute"
+	default:
+		return fmt.Sprintf("ackclass(%d)", uint8(c))
+	}
+}
+
+// AckObservation is one link's counter snapshot at a sampling window
+// boundary: cumulative sender-acknowledged traversals, cumulative receiver
+// deposits, cumulative route-conformance violations, and whether the link's
+// output port was stalled at sampling time.
+type AckObservation struct {
+	FlitsSent       uint64
+	FlitsRecv       uint64
+	RouteViolations uint64
+	Blocked         bool
+}
+
+// DefaultMinGapWindows is the consecutive growing-gap windows required to
+// convict a dropper. One window tolerates sampling races; three in a row on
+// an unblocked link do not happen by accident.
+const DefaultMinGapWindows = 3
+
+// AckMonitor runs the secure-ack scheme over all links of one network. It is
+// sampled periodically (the experiment loop feeds it at every telemetry
+// sample) and holds per-link windowed state; Observe is allocation-free, so
+// the monitor can sit inside the campaign hot loop. Verdicts escalate
+// monotonically: once a link is convicted it stays convicted (the hardware
+// latches the alarm).
+type AckMonitor struct {
+	// MinGapWindows is the consecutive growing-gap windows needed to convict
+	// a dropper (0 = DefaultMinGapWindows).
+	MinGapWindows int
+
+	prevGap  []uint64
+	prevViol []uint64
+	streak   []int32
+	class    []AckClass
+}
+
+// NewAckMonitor returns a monitor for a network with the given link count.
+func NewAckMonitor(links int) *AckMonitor {
+	return &AckMonitor{
+		prevGap:  make([]uint64, links),
+		prevViol: make([]uint64, links),
+		streak:   make([]int32, links),
+		class:    make([]AckClass, links),
+	}
+}
+
+// Links reports the number of links the monitor was sized for.
+func (m *AckMonitor) Links() int { return len(m.class) }
+
+// Reset clears every window and verdict without allocating (arena reuse).
+func (m *AckMonitor) Reset() {
+	for i := range m.class {
+		m.prevGap[i], m.prevViol[i] = 0, 0
+		m.streak[i] = 0
+		m.class[i] = AckHealthy
+	}
+}
+
+// Observe feeds one link's window snapshot and updates its verdict.
+func (m *AckMonitor) Observe(linkID int, o AckObservation) {
+	min := m.MinGapWindows
+	if min <= 0 {
+		min = DefaultMinGapWindows
+	}
+	if o.RouteViolations > m.prevViol[linkID] {
+		// A non-conforming arrival is unambiguous: no benign cause produces
+		// a valid codeword carrying a destination this link cannot serve.
+		m.class[linkID] = AckMisroute
+	}
+	m.prevViol[linkID] = o.RouteViolations
+	gap := o.FlitsSent - o.FlitsRecv
+	switch {
+	case gap > m.prevGap[linkID] && !o.Blocked:
+		m.streak[linkID]++
+		if int(m.streak[linkID]) >= min {
+			if m.class[linkID] != AckMisroute {
+				m.class[linkID] = AckDropper
+			}
+		} else if m.class[linkID] == AckHealthy {
+			m.class[linkID] = AckSuspect
+		}
+	case gap > m.prevGap[linkID]:
+		// The gap grew but the port is stalled: congestion may explain
+		// withheld end-to-end acknowledgments, so the window is discounted
+		// (the streak holds, neither growing nor resetting).
+	default:
+		// A quiet window breaks the streak; a provisional suspicion lapses,
+		// a conviction does not.
+		m.streak[linkID] = 0
+		if m.class[linkID] == AckSuspect {
+			m.class[linkID] = AckHealthy
+		}
+	}
+	m.prevGap[linkID] = gap
+}
+
+// Class returns a link's current verdict.
+func (m *AckMonitor) Class(linkID int) AckClass { return m.class[linkID] }
+
+// Flagged counts links convicted as droppers or misrouters.
+func (m *AckMonitor) Flagged() int {
+	n := 0
+	for _, c := range m.class {
+		if c == AckDropper || c == AckMisroute {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package detect
+
+import "testing"
+
+func obsGap(sent, recv uint64, blocked bool) AckObservation {
+	return AckObservation{FlitsSent: sent, FlitsRecv: recv, Blocked: blocked}
+}
+
+func TestAckMonitorHealthyLinkStaysHealthy(t *testing.T) {
+	m := NewAckMonitor(4)
+	for w := uint64(1); w <= 10; w++ {
+		m.Observe(0, obsGap(100*w, 100*w, false))
+	}
+	if c := m.Class(0); c != AckHealthy {
+		t.Fatalf("healthy link classified %v", c)
+	}
+	if m.Flagged() != 0 {
+		t.Fatal("healthy monitor flagged links")
+	}
+}
+
+func TestAckMonitorConvictsDropperAfterStreak(t *testing.T) {
+	m := NewAckMonitor(2)
+	// Growing gap on an unblocked link: suspect for the first two windows,
+	// convicted on the third (DefaultMinGapWindows).
+	m.Observe(0, obsGap(100, 99, false))
+	if c := m.Class(0); c != AckSuspect {
+		t.Fatalf("after 1 window: %v, want ack-suspect", c)
+	}
+	m.Observe(0, obsGap(200, 198, false))
+	if c := m.Class(0); c != AckSuspect {
+		t.Fatalf("after 2 windows: %v, want ack-suspect", c)
+	}
+	m.Observe(0, obsGap(300, 297, false))
+	if c := m.Class(0); c != AckDropper {
+		t.Fatalf("after 3 windows: %v, want dropper", c)
+	}
+	if m.Flagged() != 1 {
+		t.Fatalf("Flagged = %d, want 1", m.Flagged())
+	}
+}
+
+func TestAckMonitorBlockedWindowHoldsStreak(t *testing.T) {
+	m := NewAckMonitor(1)
+	m.Observe(0, obsGap(100, 99, false))
+	m.Observe(0, obsGap(200, 198, false))
+	// The port is stalled: congestion could explain the withheld ACKs, so
+	// this window neither grows nor resets the streak.
+	m.Observe(0, obsGap(300, 297, true))
+	if c := m.Class(0); c == AckDropper {
+		t.Fatal("blocked window counted toward conviction")
+	}
+	// Flow resumes with the gap still growing: the held streak completes.
+	m.Observe(0, obsGap(400, 396, false))
+	if c := m.Class(0); c != AckDropper {
+		t.Fatalf("after resumed growth: %v, want dropper", c)
+	}
+}
+
+func TestAckMonitorSuspicionLapsesConvictionSticks(t *testing.T) {
+	m := NewAckMonitor(1)
+	m.Observe(0, obsGap(100, 99, false))
+	if c := m.Class(0); c != AckSuspect {
+		t.Fatalf("after growth: %v, want ack-suspect", c)
+	}
+	// A quiet window (gap stable) lapses a provisional suspicion.
+	m.Observe(0, obsGap(200, 199, false))
+	if c := m.Class(0); c != AckHealthy {
+		t.Fatalf("suspicion did not lapse: %v", c)
+	}
+	// Convict, then go quiet: the verdict is latched.
+	for w := uint64(1); w <= 3; w++ {
+		m.Observe(0, obsGap(200+10*w, 199+9*w, false))
+	}
+	if c := m.Class(0); c != AckDropper {
+		t.Fatalf("conviction missing: %v", c)
+	}
+	for w := uint64(0); w < 5; w++ {
+		m.Observe(0, obsGap(500, 496, false))
+	}
+	if c := m.Class(0); c != AckDropper {
+		t.Fatalf("conviction lapsed to %v", c)
+	}
+}
+
+func TestAckMonitorRouteViolationConvictsImmediately(t *testing.T) {
+	m := NewAckMonitor(1)
+	m.Observe(0, AckObservation{FlitsSent: 100, FlitsRecv: 100, RouteViolations: 1})
+	if c := m.Class(0); c != AckMisroute {
+		t.Fatalf("after violating arrival: %v, want misroute", c)
+	}
+	// Misroute outranks a later dropper streak: the unambiguous evidence
+	// keeps the verdict.
+	for w := uint64(1); w <= 4; w++ {
+		m.Observe(0, AckObservation{FlitsSent: 100 + 10*w, FlitsRecv: 100 + 9*w, RouteViolations: 1})
+	}
+	if c := m.Class(0); c != AckMisroute {
+		t.Fatalf("misroute verdict displaced by %v", c)
+	}
+}
+
+func TestAckMonitorCustomThreshold(t *testing.T) {
+	m := NewAckMonitor(1)
+	m.MinGapWindows = 1
+	m.Observe(0, obsGap(10, 9, false))
+	if c := m.Class(0); c != AckDropper {
+		t.Fatalf("MinGapWindows=1 did not convict on first window: %v", c)
+	}
+}
+
+func TestAckMonitorReset(t *testing.T) {
+	m := NewAckMonitor(2)
+	for w := uint64(1); w <= 3; w++ {
+		m.Observe(0, obsGap(10*w, 9*w, false))
+	}
+	m.Observe(1, AckObservation{RouteViolations: 2})
+	if m.Flagged() != 2 {
+		t.Fatalf("Flagged = %d, want 2", m.Flagged())
+	}
+	m.Reset()
+	if m.Flagged() != 0 {
+		t.Fatal("Reset left flagged links")
+	}
+	for i := 0; i < m.Links(); i++ {
+		if c := m.Class(i); c != AckHealthy {
+			t.Fatalf("link %d still %v after Reset", i, c)
+		}
+	}
+	// State is genuinely rewound: the first post-reset window is a fresh
+	// streak start, not a continuation.
+	m.Observe(0, obsGap(40, 36, false))
+	if c := m.Class(0); c != AckSuspect {
+		t.Fatalf("post-reset first window: %v, want ack-suspect", c)
+	}
+}

@@ -43,9 +43,9 @@ func eastLink(n *noc.Network) noc.LinkInfo {
 	panic("exp: mesh without 0->east link")
 }
 
-// oneShot returns an injector that corrupts exactly its first head flit
+// oneShot returns an adversary that corrupts exactly its first head flit
 // with a double-bit (uncorrectable) error.
-func oneShot() fault.Injector {
+func oneShot() fault.Adversary {
 	done := false
 	return fault.InjectorFunc(func(_ uint64, w ecc.Codeword, fr fault.Framing) ecc.Codeword {
 		if done || !fr.Head {

@@ -156,6 +156,13 @@ func Extensions() []Experiment {
 			}
 			return []Table{t}, nil
 		}},
+		{ID: "adversary", Run: func(seed uint64) ([]Table, error) {
+			t, err := AblationAdversary(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []Table{t}, nil
+		}},
 	}
 }
 

@@ -1,9 +1,18 @@
-// Package fault models the three ways faults occur on NoC links (paper
-// Figure 2): transient single-event upsets, permanent stuck-at defects, and
-// hardware-trojan-injected faults. Links expose a tap point on the physical
-// 72-bit codeword; every fault source — including the TASP trojan in package
-// tasp — implements the Injector interface and mutates the codeword in
-// flight.
+// Package fault models the ways faults and attacks occur on NoC links
+// (paper Figure 2): transient single-event upsets, permanent stuck-at
+// defects, and hardware-trojan-injected faults. Links expose a tap point on
+// the physical 72-bit codeword; every fault source — including the trojan
+// family in package tasp — implements the Adversary interface and decides
+// the fate of the codeword in flight.
+//
+// Two contracts live here. Injector is the historical wire-mutation tap:
+// the word goes in, a (possibly corrupted) word comes out, and SECDED
+// downstream arbitrates. Adversary subsumes it: Strike can additionally
+// swallow the flit outright — the drop-trojan class of Prasad et al.
+// (arXiv:1908.00289), where the link forges the ACK and the flit simply
+// never arrives, leaving SECDED nothing to see. Every Injector in this
+// package also implements Adversary (forwarding), so benign fault sources
+// compose with trojans in one Chain.
 package fault
 
 import (
@@ -30,7 +39,32 @@ type Injector interface {
 	Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword
 }
 
-// InjectorFunc adapts a function to the Injector interface.
+// Outcome is an adversary's decision about a traversing flit.
+type Outcome uint8
+
+// Strike outcomes.
+const (
+	// Forward delivers the (possibly mutated) codeword downstream — the
+	// bit-flip attack class and every benign fault source.
+	Forward Outcome = iota
+	// Swallow consumes the flit in flight and forges the link-level ACK:
+	// the sender retires the flit as delivered, the receiver never sees it,
+	// and no NACK/retransmission machinery engages. The returned codeword
+	// is ignored.
+	Swallow
+)
+
+// Adversary is the full wire-boundary attack contract: it sees the codeword
+// exactly as the upstream ECC encoder emitted it (after any L-Ob
+// obfuscation) and decides its fate — forward it (mutated or not) or swallow
+// it with a forged acknowledgment. cycle is the global simulation clock; fr
+// is the control-wire framing of the flit.
+type Adversary interface {
+	Strike(cycle uint64, w ecc.Codeword, fr Framing) (ecc.Codeword, Outcome)
+}
+
+// InjectorFunc adapts a function to the Injector interface (and, always
+// forwarding, to Adversary).
 type InjectorFunc func(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword
 
 // Inspect calls f.
@@ -38,7 +72,12 @@ func (f InjectorFunc) Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Code
 	return f(cycle, w, fr)
 }
 
-// None is the identity injector used on healthy links.
+// Strike implements Adversary: mutate and forward.
+func (f InjectorFunc) Strike(cycle uint64, w ecc.Codeword, fr Framing) (ecc.Codeword, Outcome) {
+	return f(cycle, w, fr), Forward
+}
+
+// None is the identity adversary used on healthy links.
 var None = InjectorFunc(func(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword { return w })
 
 // Transient flips each wire independently with a (very small) per-traversal
@@ -84,6 +123,11 @@ func (t *Transient) Inspect(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword {
 	return w
 }
 
+// Strike implements Adversary: upsets forward.
+func (t *Transient) Strike(cycle uint64, w ecc.Codeword, fr Framing) (ecc.Codeword, Outcome) {
+	return t.Inspect(cycle, w, fr), Forward
+}
+
 // StuckAt models a permanent defect: the listed wires are stuck at fixed
 // values regardless of the driven data. A single stuck wire manifests as a
 // (correctable) error on roughly half of all traversals; BIST walking
@@ -112,14 +156,35 @@ func (s *StuckAt) Inspect(_ uint64, w ecc.Codeword, _ Framing) ecc.Codeword {
 	return w
 }
 
-// Chain composes injectors; the word passes through each in order. It lets a
-// compromised link also suffer background transient noise.
-type Chain []Injector
+// Strike implements Adversary: stuck wires forward.
+func (s *StuckAt) Strike(cycle uint64, w ecc.Codeword, fr Framing) (ecc.Codeword, Outcome) {
+	return s.Inspect(cycle, w, fr), Forward
+}
 
-// Inspect implements Injector.
-func (c Chain) Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword {
+// Chain composes adversaries; the word passes through each in order. It lets
+// a compromised link also suffer background transient noise. A Swallow ends
+// the traversal immediately — a flit a trojan has consumed cannot suffer
+// further upsets.
+type Chain []Adversary
+
+// Strike implements Adversary.
+func (c Chain) Strike(cycle uint64, w ecc.Codeword, fr Framing) (ecc.Codeword, Outcome) {
 	for _, in := range c {
-		w = in.Inspect(cycle, w, fr)
+		var oc Outcome
+		if w, oc = in.Strike(cycle, w, fr); oc == Swallow {
+			return w, Swallow
+		}
 	}
-	return w
+	return w, Forward
+}
+
+// Inspect adapts a forwarding chain to the Injector view (logic-test
+// campaigns drive taps through it). Swallows read as unchanged words there;
+// wire-level simulation must use Strike.
+func (c Chain) Inspect(cycle uint64, w ecc.Codeword, fr Framing) ecc.Codeword {
+	out, oc := c.Strike(cycle, w, fr)
+	if oc == Swallow {
+		return w
+	}
+	return out
 }

@@ -1,0 +1,79 @@
+package locate
+
+import (
+	"testing"
+
+	"tasp/internal/detect"
+)
+
+// TestRankAckEvidenceDominates: a secure-ack conviction must carry the
+// ranking even though the quiet trojan families leave the NACK channel (and
+// the detector Class) untouched.
+func TestRankAckEvidenceDominates(t *testing.T) {
+	topo, links := topoLinks(t, "mesh", 4, 4)
+	eng := New(topo, links)
+	ev := map[int]LinkEvidence{
+		7: {Ack: detect.AckDropper, AckGap: 300, FlitsSent: 1000},
+	}
+	ranked := eng.Rank(nil, ev)
+	if ranked[0].LinkID != 7 {
+		t.Fatalf("rank-1 = %d, want the ack-convicted link 7", ranked[0].LinkID)
+	}
+	if ranked[0].Det <= ranked[1].Det {
+		t.Fatal("ack channel not discriminating in the detector component")
+	}
+
+	// Route violations (misroute evidence) carry identically.
+	ev = map[int]LinkEvidence{
+		11: {Ack: detect.AckMisroute, RouteViolations: 200, FlitsSent: 1000},
+	}
+	if ranked = eng.Rank(nil, ev); ranked[0].LinkID != 11 {
+		t.Fatalf("rank-1 = %d, want the misroute-convicted link 11", ranked[0].LinkID)
+	}
+}
+
+// TestRankAckFusionIsMax: on a link witnessed by both channels the detector
+// component is the strongest witness, not the sum — so enabling the monitor
+// can never push a fully-convicted link's Det above 1.
+func TestRankAckFusionIsMax(t *testing.T) {
+	topo, links := topoLinks(t, "mesh", 4, 4)
+	eng := New(topo, links)
+	ev := map[int]LinkEvidence{
+		5: {
+			Class: detect.Trojan, Retransmissions: 900, FlitsSent: 100,
+			Ack: detect.AckDropper, AckGap: 90,
+		},
+	}
+	ranked := eng.Rank(nil, ev)
+	if ranked[0].LinkID != 5 {
+		t.Fatalf("rank-1 = %d, want 5", ranked[0].LinkID)
+	}
+	if ranked[0].Det > 1.0 {
+		t.Fatalf("Det = %f, want <= 1 (max fusion, not additive)", ranked[0].Det)
+	}
+}
+
+// TestRankZeroAckEvidenceIsByteStable: evidence whose ack channel is all
+// zero values must rank exactly as evidence without the fields — the guard
+// that keeps flip-trojan experiment output (and the golden file) untouched
+// by the secure-ack extension.
+func TestRankZeroAckEvidenceIsByteStable(t *testing.T) {
+	topo, links := topoLinks(t, "torus", 4, 4)
+	eng := New(topo, links)
+	ev := map[int]LinkEvidence{
+		3: {Class: detect.Suspect, Retransmissions: 400, FlitsSent: 600},
+		9: {Retransmissions: 50, FlitsSent: 950},
+	}
+	withAckZero := map[int]LinkEvidence{
+		3: {Class: detect.Suspect, Retransmissions: 400, FlitsSent: 600,
+			Ack: detect.AckHealthy, AckGap: 0, RouteViolations: 0},
+		9: {Retransmissions: 50, FlitsSent: 950, Ack: detect.AckHealthy},
+	}
+	a := eng.Rank(nil, ev)
+	b := eng.Rank(nil, withAckZero)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ranking diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -151,6 +151,14 @@ type LinkEvidence struct {
 	// localization can use even when no detector hardware is deployed.
 	Retransmissions uint64
 	FlitsSent       uint64
+	// Ack is the secure-ack monitor's verdict (AckHealthy when no monitor
+	// runs); AckGap is the cumulative sent-minus-received count and
+	// RouteViolations the non-conforming arrivals on the link. This is the
+	// evidence channel for the quiet attack families — drop and misroute
+	// trojans raise no NACKs and leave Class at Healthy forever.
+	Ack             detect.AckClass
+	AckGap          uint64
+	RouteViolations uint64
 }
 
 // Weights blends the four score components. They should sum to ~1 so scores
@@ -254,12 +262,24 @@ func classScore(c detect.Classification) float64 {
 	}
 }
 
+// ackScore maps a secure-ack verdict to suspicion.
+func ackScore(c detect.AckClass) float64 {
+	switch c {
+	case detect.AckDropper, detect.AckMisroute:
+		return 1.0
+	case detect.AckSuspect:
+		return 0.6
+	default:
+		return 0
+	}
+}
+
 // RankWeighted fuses with an explicit blend. The result is sorted by
 // descending score, ties broken by link id for determinism.
 func (e *Engine) RankWeighted(w Weights, tel *noc.LinkTelemetry, ev map[int]LinkEvidence) []Suspect {
 	n := len(e.links)
 	if cap(e.scratch) < n {
-		e.scratch = make([]Suspect, n)
+		e.scratch = make([]Suspect, n) //nocvet:allowalloc amortized scratch growth; later Rank calls reuse it
 	}
 	out := e.scratch[:n]
 
@@ -296,6 +316,25 @@ func (e *Engine) RankWeighted(w Weights, tel *noc.LinkTelemetry, ev map[int]Link
 			nack = float64(evd.Retransmissions) / float64(t)
 		}
 		s.Det = 0.5*classScore(evd.Class) + 0.5*nack
+
+		// Secure-ack channel: the verdict plus the loss/violation fraction
+		// of the link's traffic. Fused by max, not sum — the NACK channel
+		// and the ack channel witness disjoint attack families, and a link
+		// is as suspect as its strongest witness. On runs without a monitor
+		// every term is zero and s.Det is untouched (byte-stable rankings
+		// for the flip-trojan experiments).
+		if evd.Ack != detect.AckHealthy || evd.AckGap > 0 || evd.RouteViolations > 0 {
+			anomaly := 0.0
+			if evd.FlitsSent > 0 {
+				anomaly = 5 * float64(evd.AckGap+evd.RouteViolations) / float64(evd.FlitsSent)
+				if anomaly > 1 {
+					anomaly = 1
+				}
+			}
+			if ackDet := 0.5*ackScore(evd.Ack) + 0.5*anomaly; ackDet > s.Det {
+				s.Det = ackDet
+			}
+		}
 
 		// Telemetry components.
 		if tel != nil {
@@ -347,6 +386,7 @@ func (e *Engine) RankWeighted(w Weights, tel *noc.LinkTelemetry, ev map[int]Link
 		out[id] = s
 	}
 
+	//nocvet:allowalloc sort.Slice's closure; the ranking runs per telemetry sample, not per cycle
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -368,7 +408,7 @@ func (e *Engine) RankWeighted(w Weights, tel *noc.LinkTelemetry, ev map[int]Link
 	}
 
 	// Hand back a copy so the caller may retain it across Rank calls.
-	res := make([]Suspect, n)
+	res := make([]Suspect, n) //nocvet:allowalloc caller-retained result; scratch is reused underneath
 	copy(res, out)
 	return res
 }

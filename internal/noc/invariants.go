@@ -34,7 +34,15 @@ import "fmt"
 //     holds no input or injection flits, and no parked entry becomes
 //     sendable before sleepUntil — the skipped cycles are provably
 //     no-ops.
+//  9. Drop accounting: the DroppedFlits total equals the sum of its
+//     per-cause buckets (retransmission exhaustion, in-flight swallow,
+//     orphan retirement, reconfiguration).
 func (n *Network) CheckInvariants() error {
+	c := n.Counters
+	if sum := c.DroppedRetrans + c.DroppedInFlight + c.DroppedOrphan + c.DroppedReconfig; c.DroppedFlits != sum {
+		return fmt.Errorf("dropped-flit split: total %d != retrans %d + inflight %d + orphan %d + reconfig %d",
+			c.DroppedFlits, c.DroppedRetrans, c.DroppedInFlight, c.DroppedOrphan, c.DroppedReconfig)
+	}
 	for _, r := range n.routers {
 		for p := 0; p < r.numPorts; p++ {
 			op := r.outputs[p]
@@ -84,10 +92,11 @@ func (n *Network) CheckInvariants() error {
 						r.id, PortName(p), v, ivc.size(), n.cfg.BufDepth)
 				}
 				if f := ivc.front(); f != nil && !f.f.IsHead() && !ivc.routed {
-					// Tolerated transiently after link disabling (orphans
-					// are retired by the next RC phase); flag only when no
-					// link is disabled.
-					if !n.anyDisabled() {
+					// Tolerated transiently after link disabling or an
+					// in-flight head swallow (orphans are retired by the next
+					// RC phase); flag only when neither beheading cause has
+					// occurred.
+					if !n.anyDisabled() && n.Counters.DroppedInFlight == 0 {
 						return fmt.Errorf("r%d %s vc%d: orphan body flit pkt %d at front",
 							r.id, PortName(p), v, f.f.PacketID)
 					}

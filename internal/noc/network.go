@@ -37,9 +37,28 @@ type Counters struct {
 	Retransmissions  uint64 // NACKed link traversals
 	CorrectedFaults  uint64 // single-bit errors fixed by SECDED
 	InjectFailures   uint64 // packets rejected by a full injection queue
-	DroppedFlits     uint64 // flits lost to link disabling (rerouting reconfiguration)
-	LatencySum       uint64
-	MaxLatency       uint64
+	// DroppedFlits is the total of every flit loss, split by cause below:
+	// DroppedFlits == DroppedRetrans + DroppedInFlight + DroppedOrphan +
+	// DroppedReconfig always (audited by CheckInvariants). The split keeps
+	// drop-attack accounting honest — mitigation-induced losses (giving up
+	// after MaxAttempts, disabling a link) must not be conflated with
+	// trojan-induced in-flight losses.
+	DroppedFlits uint64
+	// DroppedRetrans counts flits abandoned after MaxAttempts NACKed
+	// traversals (retransmission exhaustion — mitigation-induced).
+	DroppedRetrans uint64
+	// DroppedInFlight counts flits an adversary swallowed on a link with a
+	// forged ACK (trojan-induced; the drop-attack family).
+	DroppedInFlight uint64
+	// DroppedOrphan counts headless body/tail flits discarded at a buffer
+	// front — collateral of whatever beheaded their packet (a disabled
+	// link or a swallowed head).
+	DroppedOrphan uint64
+	// DroppedReconfig counts flits discarded when a link was
+	// administratively disabled (rerouting reconfiguration).
+	DroppedReconfig uint64
+	LatencySum      uint64
+	MaxLatency      uint64
 }
 
 // AvgLatency returns the mean end-to-end packet latency in cycles.
@@ -88,6 +107,14 @@ type Network struct {
 	nextPacketID uint64
 	Counters     Counters
 
+	// routePristine is true while the installed route function is the
+	// topology's deterministic default. Only then can the receiving side of
+	// a link check route conformance (a head arriving on a port the route
+	// function would not have chosen for its carried destination — the
+	// misroute-trojan signature) without false positives; SetRoute and
+	// SetAdaptiveRoute clear it, Reset restores it.
+	routePristine bool
+
 	// sched holds the per-phase active sets and global flit counters of
 	// the event-driven core (see sched.go).
 	sched *scheduler
@@ -122,6 +149,7 @@ func New(cfg Config) (*Network, error) {
 	n := &Network{cfg: cfg, layout: cfg.Layout(), topo: topo, refPacketFlits: 5}
 	n.route = RouteTable(topo)
 	n.baseRoute = n.route
+	n.routePristine = true
 	R := topo.Routers()
 	n.sched = newScheduler(R)
 	for r := 0; r < R; r++ {
@@ -203,6 +231,7 @@ func (n *Network) Reset() {
 	n.nextPacketID = 0
 	n.Counters = Counters{}
 	n.route = n.baseRoute
+	n.routePristine = true
 	n.adaptive = nil
 	n.schedule = nil
 	n.refPacketFlits = 5
@@ -218,7 +247,7 @@ func (n *Network) Reset() {
 		l := n.links[i]
 		pw := n.plainWires[i]
 		pw.Tap = fault.None
-		pw.Corrected, pw.Dropped = 0, 0
+		pw.Corrected, pw.Dropped, pw.Swallowed = 0, 0, 0
 		n.routers[l.From].outputs[l.FromPort].wire = pw
 	}
 	if n.telemetry != nil {
@@ -261,6 +290,7 @@ func (n *Network) DisableLink(linkID int) {
 	op := r.outputs[l.FromPort]
 	op.disabled = true
 	n.Counters.DroppedFlits += uint64(len(op.entries))
+	n.Counters.DroppedReconfig += uint64(len(op.entries))
 	r.loseParked(len(op.entries))
 	op.entries = op.entries[:0]
 	for v := range op.vcOwner {
@@ -274,6 +304,7 @@ func (n *Network) DisableLink(linkID int) {
 				r.clearOccupied(r.occBit(p, v))
 				r.unrouteInput(l.FromPort, r.occBit(p, v))
 				n.Counters.DroppedFlits += uint64(dropped)
+				n.Counters.DroppedReconfig += uint64(dropped)
 				r.loseIn(dropped)
 				if up := r.ups[p]; up != nil {
 					up.credits[v] += dropped // freed slots
@@ -291,9 +322,32 @@ func (n *Network) LinkDisabled(linkID int) bool {
 	return n.routers[l.From].outputs[l.FromPort].disabled
 }
 
+// LinkBlocked reports whether the link's output port is currently stalled:
+// work is waiting for it and nothing has crossed for at least the configured
+// stall threshold. The secure-ack monitor uses it to separate congestion
+// (blocked ports explain missing deliveries) from in-flight loss (a growing
+// sent/received gap on a link that is demonstrably flowing).
+func (n *Network) LinkBlocked(linkID int) bool {
+	stall := uint64(n.cfg.StallThreshold)
+	if stall == 0 {
+		stall = 50
+	}
+	n.repairIfAsleep()
+	l := n.links[linkID]
+	r := n.routers[l.From]
+	op := r.outputs[l.FromPort]
+	return !op.disabled && !r.idle() && n.cycle-op.lastProgress >= stall
+}
+
 // SetRoute replaces the routing function (rerouting baselines install
-// fault-aware tables here) and clears any adaptive function.
-func (n *Network) SetRoute(fn RouteFunc) { n.wakeAll(); n.route, n.adaptive = fn, nil }
+// fault-aware tables here) and clears any adaptive function. Route
+// conformance checking stops: arrivals can no longer be validated against
+// the default table.
+func (n *Network) SetRoute(fn RouteFunc) {
+	n.wakeAll()
+	n.route, n.adaptive = fn, nil
+	n.routePristine = false
+}
 
 // SetAdaptiveRoute installs a turn-model adaptive routing function: at RC
 // time the router picks, among the candidates, the output with the most
@@ -302,6 +356,7 @@ func (n *Network) SetRoute(fn RouteFunc) { n.wakeAll(); n.route, n.adaptive = fn
 func (n *Network) SetAdaptiveRoute(fn AdaptiveRouteFunc) {
 	n.wakeAll()
 	n.adaptive = fn
+	n.routePristine = false
 	n.route = func(router, dst int) int {
 		cands := fn(router, dst)
 		best, bestScore := cands[0], -1<<30
@@ -397,7 +452,7 @@ func (n *Network) Step() {
 	}
 	for wi, w := range s.actIn.w {
 		for ; w != 0; w &= w - 1 {
-			n.routers[wi<<6+bits.TrailingZeros64(w)].phaseRC(n.route, n.layout, n.cycle, &n.Counters.DroppedFlits)
+			n.routers[wi<<6+bits.TrailingZeros64(w)].phaseRC(n.route, n.layout, n.cycle, &n.Counters)
 		}
 	}
 	for wi := range s.actOut.w {
@@ -512,6 +567,7 @@ func (n *Network) phaseLT(op *outputPort) {
 				op.vcOwner[e.vc] = 0
 			}
 			n.Counters.DroppedFlits++
+			n.Counters.DroppedRetrans++
 			op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
 			n.routers[op.router].loseParked(1)
 		}
@@ -522,6 +578,24 @@ func (n *Network) phaseLT(op *outputPort) {
 	if delivered.IsTail() {
 		op.vcOwner[e.vc] = 0
 	}
+	if res.Swallowed {
+		// Forged ACK: the sender's bookkeeping above ran exactly as on a real
+		// delivery (entry retired, FlitsSent counted, tail ownership released)
+		// — that is the attack's cover. But nothing arrives downstream, so
+		// the buffer slot reserved at switch allocation returns its credit
+		// and the loss is booked as trojan-induced. The beheaded packet's
+		// later flits cross normally and die as orphans at the downstream
+		// buffer front (phaseRC).
+		if !op.ejection {
+			op.credits[e.vc]++
+		}
+		n.Counters.DroppedFlits++
+		n.Counters.DroppedInFlight++
+		op.entries = append(op.entries[:pick], op.entries[pick+1:]...)
+		n.routers[op.router].loseParked(1)
+		return
+	}
+	op.FlitsRecv++
 	if op.ejection {
 		n.Counters.DeliveredFlits++
 		if done, lat := n.nis[op.router].receive(delivered, n.cycle); done {
@@ -535,6 +609,15 @@ func (n *Network) phaseLT(op *outputPort) {
 		// The credit for this slot was already reserved at switch
 		// allocation; deposit without touching the counter.
 		l := n.links[op.linkID]
+		if delivered.IsHead() && n.routePristine &&
+			n.route(l.From, int(delivered.Header(n.layout).DstR)) != l.FromPort {
+			// Route conformance: under the topology's deterministic default
+			// table the sending router would never have granted this output
+			// for the destination the header now carries — the signature of
+			// an in-flight header rewrite (misroute trojan). The check lives
+			// at the receiving end of the wire, downstream of the adversary.
+			op.RouteViolations++
+		}
 		n.routers[l.To].deposit(l.ToPort, int(e.vc), bufFlit{
 			f:       delivered,
 			readyAt: n.cycle + 1 + uint64(res.Stall),

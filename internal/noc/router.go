@@ -118,10 +118,19 @@ type outputPort struct {
 	// to tell deadlock from transient congestion.
 	lastProgress uint64
 
-	// FlitsSent counts successful traversals (Figure 1(c) link loads).
+	// FlitsSent counts successful traversals (Figure 1(c) link loads). A
+	// forged ACK counts here too — the sender cannot tell it from a real one.
 	FlitsSent uint64
+	// FlitsRecv counts flits actually deposited at the receiving end of the
+	// link. On a healthy link FlitsSent == FlitsRecv at all times; a growing
+	// gap is the secure-ack signature of an in-flight swallow.
+	FlitsRecv uint64
 	// Retransmissions counts NACKed attempts on this link.
 	Retransmissions uint64
+	// RouteViolations counts head flits that arrived carrying a destination
+	// the default route table would never have sent through this link — the
+	// receiver-side signature of an in-flight header rewrite.
+	RouteViolations uint64
 }
 
 func (op *outputPort) full(depth int) bool { return len(op.entries) >= depth }
@@ -276,7 +285,8 @@ func (r *Router) reset(cfg Config) {
 		op.disabled = false
 		op.saPtr, op.vaPtr = 0, 0
 		op.lastProgress = 0
-		op.FlitsSent, op.Retransmissions = 0, 0
+		op.FlitsSent, op.FlitsRecv = 0, 0
+		op.Retransmissions, op.RouteViolations = 0, 0
 	}
 	r.resetActivity()
 }
@@ -312,9 +322,10 @@ func (r *Router) hasWorkFor(port int) bool {
 
 // phaseRC computes routes for head flits that reached the front of their VC
 // buffer (the BW/RC pipeline stage). It also retires debris left by link
-// disabling: heads whose computed route now points at a dead port are
-// re-routed, and orphaned body/tail flits of truncated packets are dropped.
-func (r *Router) phaseRC(route RouteFunc, l flit.Layout, cycle uint64, dropped *uint64) {
+// disabling or in-flight head swallowing: heads whose computed route now
+// points at a dead port are re-routed, and orphaned body/tail flits of
+// truncated packets are dropped.
+func (r *Router) phaseRC(route RouteFunc, l flit.Layout, cycle uint64, cnt *Counters) {
 	// Walk only the occupied input VCs, in the same ascending (port, vc)
 	// order as the full sweep (bit index == p*vcs+v is monotone in it).
 	for m := r.occ; m != 0; m &= m - 1 {
@@ -330,10 +341,12 @@ func (r *Router) phaseRC(route RouteFunc, l flit.Layout, cycle uint64, dropped *
 				break
 			}
 			if !f.f.IsHead() && !ivc.routed {
-				// Orphan: its head was dropped with a disabled link.
+				// Orphan: its head was dropped with a disabled link or
+				// swallowed in flight by a drop trojan.
 				ivc.pop()
 				r.loseIn(1)
-				*dropped++
+				cnt.DroppedFlits++
+				cnt.DroppedOrphan++
 				if up := r.ups[p]; up != nil {
 					up.credits[v]++ // freed slot
 				}

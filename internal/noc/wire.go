@@ -19,6 +19,10 @@ type TxResult struct {
 	// the receiver before becoming eligible for switch allocation — the
 	// 1-3 cycle penalty of undoing L-Ob obfuscation (Figure 7).
 	Stall int
+	// Swallowed is true when an adversary consumed the flit in flight and
+	// forged the ACK: the sender retires the flit as delivered (OK is true)
+	// but nothing arrives downstream. The drop-trojan signature.
+	Swallowed bool
 }
 
 // Wire carries one flit attempt across a physical link. Implementations own
@@ -31,14 +35,17 @@ type Wire interface {
 	Transmit(cycle uint64, f flit.Flit, vc uint8, attempt int) (flit.Flit, TxResult)
 }
 
-// PlainWire is the baseline link: SECDED encode, pass through the fault tap,
-// SECDED decode. No obfuscation, no detection.
+// PlainWire is the baseline link: SECDED encode, pass through the adversary
+// tap, SECDED decode. No obfuscation, no detection.
 type PlainWire struct {
-	// Tap mutates the codeword in flight; fault.None for a healthy link.
-	Tap fault.Injector
-	// Corrected and Dropped count link-level ECC outcomes.
+	// Tap decides the codeword's fate in flight; fault.None for a healthy
+	// link.
+	Tap fault.Adversary
+	// Corrected and Dropped count link-level ECC outcomes; Swallowed counts
+	// flits an adversary consumed with a forged ACK.
 	Corrected uint64
 	Dropped   uint64
+	Swallowed uint64
 }
 
 // NewPlainWire returns a healthy baseline wire.
@@ -48,7 +55,12 @@ func NewPlainWire() *PlainWire { return &PlainWire{Tap: fault.None} }
 func (w *PlainWire) Transmit(cycle uint64, f flit.Flit, _ uint8, _ int) (flit.Flit, TxResult) {
 	cw := ecc.Encode(f.Payload)
 	if w.Tap != nil {
-		cw = w.Tap.Inspect(cycle, cw, fault.Framing{Head: f.IsHead(), Tail: f.IsTail()})
+		var oc fault.Outcome
+		cw, oc = w.Tap.Strike(cycle, cw, fault.Framing{Head: f.IsHead(), Tail: f.IsTail()})
+		if oc == fault.Swallow {
+			w.Swallowed++
+			return f, TxResult{OK: true, Swallowed: true}
+		}
 	}
 	data, st, _ := ecc.Decode(cw)
 	switch st {

@@ -227,14 +227,12 @@ func (s State) String() string {
 	}
 }
 
-// HT is one TASP trojan instance. It implements fault.Injector so it can be
-// attached to any link tap point. The zero value is not usable; construct
-// with New.
+// HT is one TASP trojan instance — the flip family of the pluggable Trojan
+// contract (trojan.go). It implements fault.Adversary (and the historical
+// fault.Injector view) so it can be attached to any link tap point. The zero
+// value is not usable; construct with New.
 type HT struct {
-	target  Target
-	taps    []wireTap
-	killsw  bool
-	state   State
+	trigger
 	yBits   int
 	wires   []int // the Y attackable wires the payload counter selects among
 	plState int   // current payload state (pair index)
@@ -258,9 +256,8 @@ func New(target Target, yBits int, l flit.Layout) *HT {
 		panic("tasp: payload counter needs at least 2 bits")
 	}
 	h := &HT{
-		target: target,
-		taps:   target.compile(l),
-		yBits:  yBits,
+		trigger: newTrigger(target, l),
+		yBits:   yBits,
 	}
 	// Spread the Y attackable wires evenly across the codeword, skewed off
 	// the tapped wires so injections don't mask the trojan's own trigger.
@@ -270,52 +267,25 @@ func New(target Target, yBits int, l flit.Layout) *HT {
 	return h
 }
 
-// Target returns the programmed target.
-func (h *HT) Target() Target { return h.target }
-
 // Reset disarms the trojan and rewinds its FSM, payload counter and strike
 // counters to the post-New state without allocating. The compiled comparator
 // taps and attackable-wire table are functions of the target and layout
 // alone, so they are preserved — simulation arenas memoize one HT per
 // (target, layout) and Reset it between scenario points.
 func (h *HT) Reset() {
-	h.killsw = false
-	h.state = Idle
+	h.resetFSM()
 	h.plState = 0
 	h.Matches, h.Injections = 0, 0
 }
 
-// State returns the current FSM state.
-func (h *HT) State() State { return h.state }
+// Kind implements Trojan.
+func (h *HT) Kind() Kind { return KindFlip }
+
+// Stats implements Trojan.
+func (h *HT) Stats() (uint64, uint64) { return h.Matches, h.Injections }
 
 // PayloadStates returns the number of distinct two-wire payload states.
 func (h *HT) PayloadStates() int { return h.yBits * (h.yBits - 1) / 2 }
-
-// SetKillSwitch drives the external backdoor enable. Turning it off returns
-// the trojan to Idle, hiding it from logic testing (Section III-B).
-func (h *HT) SetKillSwitch(on bool) {
-	h.killsw = on
-	if !on {
-		h.state = Idle
-	} else if h.state == Idle {
-		h.state = Active
-	}
-}
-
-// KillSwitch reports the current enable.
-func (h *HT) KillSwitch() bool { return h.killsw }
-
-// matches runs the comparator over the codeword: every tapped wire must
-// carry its expected value. Head qualification happens on the link's
-// control wires (Framing), not in the payload.
-func (h *HT) matches(cw ecc.Codeword) bool {
-	for _, tap := range h.taps {
-		if cw.Bit(tap.pos) != tap.want {
-			return false
-		}
-	}
-	return true
-}
 
 // payloadPair returns the two wires selected by the current payload state.
 func (h *HT) payloadPair() (int, int) {
@@ -331,18 +301,14 @@ func (h *HT) payloadPair() (int, int) {
 	return h.wires[0], h.wires[1]
 }
 
-// Inspect implements fault.Injector: deep packet inspection on the codeword
+// Strike implements fault.Adversary: deep packet inspection on the codeword
 // and, when armed and the target is sighted, a two-bit strike at the current
 // payload state's wires, after which the payload counter advances ("the HT
-// holds the payload state until the next fault injection"). Only flits the
-// control wires frame as header-carrying (head or single) are inspected —
-// body flits carry payload in the compared positions.
-func (h *HT) Inspect(_ uint64, cw ecc.Codeword, fr fault.Framing) ecc.Codeword {
-	if !h.killsw || !fr.Head {
-		return cw
-	}
-	if !h.matches(cw) {
-		return cw
+// holds the payload state until the next fault injection"). Flips always
+// forward — SECDED raising the NACK is the attack.
+func (h *HT) Strike(_ uint64, cw ecc.Codeword, fr fault.Framing) (ecc.Codeword, fault.Outcome) {
+	if !h.sighted(cw, fr) {
+		return cw, fault.Forward
 	}
 	h.state = Attacking
 	h.Matches++
@@ -350,5 +316,12 @@ func (h *HT) Inspect(_ uint64, cw ecc.Codeword, fr fault.Framing) ecc.Codeword {
 	cw = cw.Flip(p1).Flip(p2)
 	h.plState = (h.plState + 1) % h.PayloadStates()
 	h.Injections++
-	return cw
+	return cw, fault.Forward
+}
+
+// Inspect is the fault.Injector view of Strike, kept for the logic-test
+// campaigns that drive taps as plain word mutators.
+func (h *HT) Inspect(cycle uint64, cw ecc.Codeword, fr fault.Framing) ecc.Codeword {
+	out, _ := h.Strike(cycle, cw, fr)
+	return out
 }

@@ -65,6 +65,22 @@ var (
 	ForFull    = taspht.ForFull
 )
 
+// TrojanKind selects the trojan family deployed on the infected links:
+// payload-flipping TASP, the ACK-forging dropper, or the header-rewriting
+// misrouter.
+type TrojanKind = taspht.Kind
+
+// The available trojan families.
+const (
+	KindFlip     = taspht.KindFlip
+	KindDrop     = taspht.KindDrop
+	KindMisroute = taspht.KindMisroute
+)
+
+// ParseTrojanKind resolves a trojan family name ("flip", "drop",
+// "misroute"; "" means flip).
+var ParseTrojanKind = taspht.ParseKind
+
 // NoCConfig describes the simulated mesh micro-architecture.
 type NoCConfig = noc.Config
 
