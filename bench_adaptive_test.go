@@ -1,0 +1,74 @@
+package tasp_test
+
+import (
+	"testing"
+
+	"tasp"
+	"tasp/internal/flit"
+	"tasp/internal/noc"
+	taspht "tasp/internal/tasp"
+	"tasp/internal/xrand"
+)
+
+// BenchmarkNetworkStepAdaptive measures the simulator hot path under the
+// adaptive drop family: every link into the victim router carries a
+// duty-cycled ThrottledDropper, so the swallow branch of phaseLT alternates
+// with clean traversal at the trojan's period and both the strike and the
+// quiet-phase gating run continuously. The bench gate holds this at
+// 0 allocs/op like the other NetworkStep benchmarks.
+func BenchmarkNetworkStepAdaptive(b *testing.B) {
+	cfg := noc.DefaultConfig()
+	net, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := net.Layout()
+	const victim = 5 // an interior router: 4 infected inbound links
+	for _, l := range net.Links() {
+		if l.To != victim {
+			continue
+		}
+		d := taspht.NewThrottledDropper(tasp.ForDest(victim), layout, 0, 0)
+		d.SetKillSwitch(true) // arm: Idle trojans never strike
+		w := noc.NewPlainWire()
+		w.Tap = d
+		net.SetWire(l.ID, w)
+	}
+
+	rng := xrand.New(1)
+	pkt := flit.Packet{Body: make([]uint64, 4)} // reused; enqueue copies
+	cores := cfg.Cores()
+	inject := func() {
+		for c := 0; c < cores; c++ {
+			if !rng.Bool(0.02) {
+				continue
+			}
+			dst := rng.Intn(cores)
+			if dst == c {
+				continue
+			}
+			pkt.Hdr = flit.Header{
+				VC:   uint8(rng.Intn(cfg.VCs)),
+				DstR: uint8(cfg.CoreRouter(dst)),
+				DstC: uint8(dst % cfg.Concentration),
+				Mem:  uint32(rng.Uint64()),
+			}
+			net.Inject(c, &pkt)
+		}
+	}
+	for i := 0; i < 500; i++ { // warm up into the attacked steady state
+		inject()
+		net.Step()
+	}
+	if net.Counters.DroppedInFlight == 0 {
+		b.Fatal("throttled droppers inactive: nothing swallowed during warm-up")
+	}
+	start := net.Counters.DroppedInFlight
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inject()
+		net.Step()
+	}
+	b.ReportMetric(float64(net.Counters.DroppedInFlight-start)/float64(b.N), "drops/cycle")
+}

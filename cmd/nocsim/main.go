@@ -37,9 +37,12 @@ func main() {
 		warmup     = flag.Int("warmup", 1500, "cycles before the kill switch flips")
 		cycles     = flag.Int("cycles", 1500, "cycles simulated after the kill switch")
 		attack     = flag.Bool("attack", true, "deploy TASP trojans")
-		attackMode = flag.String("attack-mode", "flip", "trojan family: flip, drop, misroute")
-		hijack     = flag.Int("hijack", 0, "misroute diversion router (0 = farthest from the victim)")
+		attackMode = flag.String("attack-mode", "flip", "trojan family: flip, drop, misroute, throttle, collude")
+		hijack     = flag.Int("hijack", -1, "misroute diversion router (-1 = farthest from the victim; 0 is a valid explicit router)")
+		dutyPeriod = flag.Int("duty-period", 0, "throttle/collude duty period in cycles (0 = tuned default)")
+		dutyActive = flag.Int("duty-active", 0, "throttle active cycles per period (0 = tuned default)")
 		secureAck  = flag.Bool("secure-ack", false, "run the secure-acknowledgment monitor and print its per-link verdicts")
+		doRecover  = flag.Bool("recover", false, "reroute around links the secure-ack monitor convicts mid-run (implies -secure-ack)")
 		links      = flag.Int("links", 2, "number of infected links (target-flow hottest)")
 		target     = flag.String("target", "dest", "trojan target kind: dest, src, destsrc, vc, mem, full")
 		dest       = flag.Int("dest", 0, "target destination router")
@@ -68,8 +71,11 @@ func main() {
 	cfg.Attack.Enabled = *attack
 	cfg.Attack.NumLinks = *links
 	cfg.Attack.Hijack = *hijack
+	cfg.Attack.DutyPeriod = *dutyPeriod
+	cfg.Attack.DutyActive = *dutyActive
 	cfg.Locate = *doLocate
-	cfg.SecureAck = *secureAck
+	cfg.SecureAck = *secureAck || *doRecover
+	cfg.RecoverOnConvict = *doRecover
 
 	kind, err := tasp.ParseTrojanKind(*attackMode)
 	if err != nil {
@@ -145,6 +151,10 @@ func main() {
 	if res.ReroutedAt > 0 {
 		fmt.Printf("rerouted at cycle %d\n", res.ReroutedAt)
 	}
+	if res.RecoveredAt > 0 {
+		fmt.Printf("recovered at cycle %d (rerouted around convicted links %v)\n",
+			res.RecoveredAt, res.RecoveredLinks)
+	}
 	if len(res.AckVerdicts) > 0 {
 		fmt.Printf("secure-ack verdicts (first flagged at cycle %d):\n", res.AckFlaggedAt)
 		ids := make([]int, 0, len(res.AckVerdicts))
@@ -153,7 +163,11 @@ func main() {
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
-			fmt.Printf("  link %d: %s\n", id, res.AckVerdicts[id])
+			if ch, ok := res.AckChannels[id]; ok {
+				fmt.Printf("  link %d: %s (channel: %s)\n", id, res.AckVerdicts[id], ch)
+			} else {
+				fmt.Printf("  link %d: %s\n", id, res.AckVerdicts[id])
+			}
 		}
 	}
 	if *doLocate && len(res.Suspects) > 0 {

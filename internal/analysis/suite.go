@@ -74,23 +74,34 @@ var CampaignWriterFiles = []string{"writer.go"}
 
 // DetectHotPathRoots are the runtime detectors' per-sample entry points.
 // The secure-ack monitor is fed once per link at every telemetry sample
-// inside the campaign worker loop, so Observe and the arena-reuse Reset
-// must stay allocation-free like the simulator phases that feed them.
+// inside the campaign worker loop (Observe, then one FinishWindow per
+// sample), so they and the arena-reuse Reset must stay allocation-free
+// like the simulator phases that feed them.
 var DetectHotPathRoots = []string{
 	"AckMonitor.Observe",
+	"AckMonitor.FinishWindow",
 	"AckMonitor.Reset",
 	"AckMonitor.Class",
+	"AckMonitor.Channel",
+	"AckMonitor.Deficit",
 	"AckMonitor.Flagged",
 }
 
 // DetectMonitorFields is the secure-ack monitor's windowed state: verdicts
-// escalate monotonically (a conviction latches), which only holds if every
-// transition goes through Observe/Reset in ack.go.
+// escalate monotonically (a conviction latches), the cumulative deficit
+// and fused counters only grow, and the per-link/fused streaks only move
+// through window boundaries — which only holds if every transition goes
+// through Observe/FinishWindow/Reset in ack.go.
 var DetectMonitorFields = []ProtectedField{
 	{Type: "AckMonitor", Field: "prevGap"},
 	{Type: "AckMonitor", Field: "prevViol"},
 	{Type: "AckMonitor", Field: "streak"},
 	{Type: "AckMonitor", Field: "class"},
+	{Type: "AckMonitor", Field: "channel"},
+	{Type: "AckMonitor", Field: "deficit"},
+	{Type: "AckMonitor", Field: "sent"},
+	{Type: "AckMonitor", Field: "windowGrowth"},
+	{Type: "AckMonitor", Field: "fusedStreak"},
 }
 
 // DetectMonitorFiles are the files allowed to mutate DetectMonitorFields.

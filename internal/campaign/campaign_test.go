@@ -358,3 +358,40 @@ func TestAttackModeGrid(t *testing.T) {
 		t.Error("pinned-links drop arm never convicted")
 	}
 }
+
+// TestResumeRejectsStaleCheckpoint is the regression test for checkpoint
+// offsets beyond the end of the output file: truncating a file to a larger
+// offset zero-extends it with sparse NULs, so a stale or foreign sidecar
+// would silently corrupt the resumed JSONL instead of failing loudly.
+func TestResumeRejectsStaleCheckpoint(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.jsonl")
+	spec := testSpec()
+	if _, err := Run(context.Background(), spec, out, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the output behind the checkpoint's back: the sidecar now
+	// claims an offset past the end of the file.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), spec, out, Options{Workers: 2, Resume: true})
+	if err == nil {
+		t.Fatal("resume with a stale checkpoint should fail")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error should name the stale checkpoint, got: %v", err)
+	}
+	// The half file must be exactly as the failed resume found it: no
+	// truncation, no zero-extension.
+	after, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, data[:len(data)/2]) {
+		t.Fatal("failed resume modified the output file")
+	}
+}

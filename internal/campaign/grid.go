@@ -35,6 +35,7 @@ type Spec struct {
 	Measure      int     `json:"measure,omitempty"`
 	Locate       bool    `json:"locate,omitempty"`
 	SecureAck    bool    `json:"secure_ack,omitempty"`
+	Recover      bool    `json:"recover,omitempty"`
 	TransientBER float64 `json:"transient_ber,omitempty"`
 }
 
@@ -123,6 +124,7 @@ func (s Spec) Expand() []Scenario {
 								Mitigation:   mit,
 								Locate:       s.Locate,
 								SecureAck:    s.SecureAck,
+								Recover:      s.Recover,
 								TransientBER: s.TransientBER,
 							})
 						}

@@ -47,8 +47,11 @@ type Record struct {
 	DroppedOrphan   uint64 `json:"dropped_orphan"`
 	DroppedReconfig uint64 `json:"dropped_reconfig"`
 	// AckFlagged counts links the secure-ack monitor convicted as droppers
-	// or misrouters (0 on runs without SecureAck).
-	AckFlagged int `json:"ack_flagged"`
+	// or misrouters (0 on runs without SecureAck); RecoveredAt is the cycle
+	// conviction-driven recovery first rerouted around a convicted link
+	// (0 on runs without Recover, or when nothing was convicted).
+	AckFlagged  int    `json:"ack_flagged"`
+	RecoveredAt uint64 `json:"recovered_at"`
 }
 
 // Fill populates the outcome fields from a run's results (the scenario
@@ -91,6 +94,7 @@ func (r *Record) Fill(res *core.Results) {
 			r.AckFlagged++
 		}
 	}
+	r.RecoveredAt = res.RecoveredAt
 }
 
 // appendJSONString appends a JSON string. Campaign identity strings are
@@ -196,5 +200,7 @@ func (r *Record) AppendJSONL(dst []byte) []byte {
 	dst = strconv.AppendUint(dst, r.DroppedReconfig, 10)
 	dst = appendField(dst, false, "ack_flagged")
 	dst = strconv.AppendInt(dst, int64(r.AckFlagged), 10)
+	dst = appendField(dst, false, "recovered_at")
+	dst = strconv.AppendUint(dst, r.RecoveredAt, 10)
 	return append(dst, '}', '\n')
 }

@@ -75,6 +75,18 @@ func Run(ctx context.Context, spec Spec, outPath string, opt Options) (int, erro
 	}
 	defer f.Close()
 	if opt.Resume {
+		// The checkpoint must describe THIS file: truncating to an offset
+		// beyond the end would zero-extend the JSONL (sparse NULs), silently
+		// breaking byte-determinism. A longer offset means the sidecar is
+		// stale or belongs to a different output file.
+		st, err := f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		if offset > st.Size() {
+			return 0, fmt.Errorf("resume: checkpoint %s claims offset %d but %s is only %d bytes (stale or foreign checkpoint)",
+				ckptPath, offset, outPath, st.Size())
+		}
 		// Drop any partial record written after the last checkpoint.
 		if err := f.Truncate(offset); err != nil {
 			return 0, err

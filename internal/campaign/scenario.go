@@ -40,11 +40,19 @@ type AttackSpec struct {
 	// YBits is the trojan's payload-counter width (0 = tasp default).
 	YBits int `json:"y_bits,omitempty"`
 	// Mode selects the trojan family on the infected links: "flip" (or
-	// empty — the TASP double-flip default), "drop" or "misroute".
+	// empty — the TASP double-flip default), "drop", "misroute", "throttle"
+	// (duty-cycled dropper) or "collude" (rotating dropper set).
 	Mode string `json:"mode,omitempty"`
 	// Hijack is the router misrouted packets are diverted to ("misroute"
-	// mode only; 0 = auto-select the farthest router from the victim).
-	Hijack int `json:"hijack,omitempty"`
+	// mode only). Absent = auto-select the farthest router from the victim;
+	// present selects that router, and 0 is a valid explicit choice (the
+	// option-present semantics the -1 sentinel carries in core).
+	Hijack *int `json:"hijack,omitempty"`
+	// DutyPeriod/DutyActive tune the adaptive families ("throttle": strike
+	// DutyActive cycles of every DutyPeriod; "collude": rotate in
+	// DutyPeriod-cycle slices). 0 = tasp defaults.
+	DutyPeriod int `json:"duty_period,omitempty"`
+	DutyActive int `json:"duty_active,omitempty"`
 }
 
 // Name is the attack's identity in records and aggregation group keys. Non-
@@ -108,6 +116,10 @@ type Scenario struct {
 	// SecureAck enables secure-acknowledgment monitoring — the runtime
 	// detector for the drop and misroute trojan families.
 	SecureAck bool `json:"secure_ack,omitempty"`
+	// Recover turns secure-ack conviction into runtime recovery: convicted
+	// links are rerouted around mid-run (implies nothing unless SecureAck
+	// is also set).
+	Recover bool `json:"recover,omitempty"`
 	// TransientBER adds background single-event upsets.
 	TransientBER float64 `json:"transient_ber,omitempty"`
 }
@@ -152,7 +164,11 @@ func (s Scenario) Config() (core.ExperimentConfig, error) {
 		return cfg, err
 	}
 	cfg.Attack.Kind = kind
-	cfg.Attack.Hijack = s.Attack.Hijack
+	if s.Attack.Hijack != nil {
+		cfg.Attack.Hijack = *s.Attack.Hijack
+	} // absent keeps the default's -1 auto-select sentinel
+	cfg.Attack.DutyPeriod = s.Attack.DutyPeriod
+	cfg.Attack.DutyActive = s.Attack.DutyActive
 	if s.Mitigation != "" {
 		m, err := core.ParseMitigation(s.Mitigation)
 		if err != nil {
@@ -162,6 +178,7 @@ func (s Scenario) Config() (core.ExperimentConfig, error) {
 	}
 	cfg.Locate = s.Locate
 	cfg.SecureAck = s.SecureAck
+	cfg.RecoverOnConvict = s.Recover
 	cfg.TransientBER = s.TransientBER
 	return cfg, nil
 }

@@ -72,10 +72,19 @@ type AttackConfig struct {
 	// Flip family only.
 	YBits int
 	// Hijack is the router misrouted packets are delivered to (misroute
-	// family only). 0 selects automatically: the reachable router farthest
-	// from the victim by route-walk distance, so the diversion is maximal
-	// and the first hop diverges from the legitimate path.
+	// family only). Negative selects automatically: the reachable router
+	// farthest from the victim by route-walk distance, so the diversion is
+	// maximal and the first hop diverges from the legitimate path. Router 0
+	// is a valid explicit choice — the sentinel is -1, not 0.
 	Hijack int
+	// DutyPeriod and DutyActive define the adaptive families' duty cycle in
+	// cycles: a throttle trojan strikes during DutyActive cycles of every
+	// DutyPeriod; a collusion set rotates the strike duty in slices of
+	// DutyPeriod cycles (DutyActive is ignored). 0 = the tasp defaults,
+	// tuned to sit under the secure-ack streak threshold at the default
+	// sampling window.
+	DutyPeriod int
+	DutyActive int
 	// Links explicitly lists infected link ids. When empty, the NumLinks
 	// hottest links for the workload are infected (the attacker's optimal
 	// placement from Section III-A).
@@ -124,8 +133,32 @@ type ExperimentConfig struct {
 	// (detect.AckMonitor), convicting droppers and misrouters the
 	// fault-triggered detector can never see. Verdicts land in
 	// Results.AckVerdicts and, when Locate also runs, feed the ranking's
-	// evidence. Observation-only.
+	// evidence. Observation-only unless RecoverOnConvict is set.
 	SecureAck bool
+
+	// AckDeficitRatio tunes the secure-ack monitor's cumulative-deficit
+	// channel (0 = detect.DefaultDeficitRatio; negative disables the
+	// deficit and fused channels — the stock streak-only detector, the
+	// ablation arm adaptive trojans are tuned against).
+	AckDeficitRatio float64
+
+	// RecoverOnConvict turns secure-ack conviction into runtime recovery:
+	// the moment the monitor convicts a link (any channel), the link is fed
+	// to reroute.ApplySafe as a reconfiguration event and traffic
+	// retransmits around it on the surviving topology, with the truncated
+	// wormholes the attack and the cut left behind reclaimed. In-flight
+	// traffic on the disabled link is dropped under the reconfig cause
+	// (DroppedFlits split). Requires SecureAck.
+	RecoverOnConvict bool
+
+	// PredisabledLinks administratively disables links (by id) with the
+	// safe reconfiguration (reroute.ApplySafe) before the run starts: the
+	// post-fault capacity oracle. A recovery run's post-conviction goodput
+	// is judged against an otherwise identical run that pre-disables the
+	// convicted set — the gap isolates what recovery controls (detection
+	// lag, reconfiguration debris) from the structural capacity the fabric
+	// lost with the links.
+	PredisabledLinks []int
 }
 
 // DefaultExperiment returns the paper's standard protocol: the 64-core mesh,
@@ -147,6 +180,7 @@ func DefaultExperiment() ExperimentConfig {
 			Enabled:  true,
 			Target:   tasp.ForDest(0),
 			NumLinks: 2,
+			Hijack:   -1, // auto-select (router 0 would be the victim itself)
 		},
 		Mitigation: NoMitigation,
 	}
@@ -186,14 +220,35 @@ type Results struct {
 	BISTScans     uint64
 
 	// AckVerdicts holds the secure-ack monitor's non-healthy link verdicts
-	// (SecureAck runs only); AckFlaggedAt is the cycle the first link was
-	// convicted as a dropper or misrouter (0 = never).
+	// (SecureAck runs only); AckChannels the evidence channel that produced
+	// each; AckFlaggedAt is the cycle the first link was convicted as a
+	// dropper or misrouter (0 = never).
 	AckVerdicts  map[int]detect.AckClass
+	AckChannels  map[int]detect.AckChannel
 	AckFlaggedAt uint64
+
+	// HijackRouter is the effective misroute hijack destination after
+	// auto-selection (-1 for non-misroute runs): the regression surface for
+	// the -1 sentinel semantics (router 0 is a valid explicit hijack).
+	HijackRouter int
 
 	// ReroutedAt is the cycle the rerouting baseline reconfigured (0 if
 	// it never did).
 	ReroutedAt uint64
+
+	// Recovery telemetry (RecoverOnConvict runs). RecoveredAt is the cycle
+	// of the first conviction-driven reconfiguration (0 = never convicted);
+	// RecoveredLinks lists every link disabled by recovery in conviction
+	// order; AtRecover snapshots the counters at the first reconfiguration,
+	// so post-recovery throughput is (Final-AtRecover) over the remaining
+	// cycles. VictimAtRecover snapshots VictimDelivered at the same instant
+	// — the victim's post-recovery goodput rate is the DoS-recovery measure
+	// (whole-network throughput is bounded by the surviving topology's
+	// capacity, the Figure 10 rerouting cost).
+	RecoveredAt     uint64
+	RecoveredLinks  []int
+	AtRecover       noc.Counters
+	VictimAtRecover uint64
 
 	// VictimDelivered counts packets delivered to the attack target's
 	// destination router during the measure phase — the victim

@@ -69,6 +69,8 @@ type trojanKey struct {
 	target tasp.Target
 	yBits  int
 	hijack int
+	period int
+	active int
 }
 
 // arena is one reusable simulation platform: a network plus every per-link
@@ -86,7 +88,14 @@ type arena struct {
 
 	placements map[placementKey][]int
 	trojans    map[trojanKey][]tasp.Trojan
+	colls      map[int]*tasp.Collusion // per slice length, shared by a collude set
 	gens       map[*traffic.Model]*traffic.Generator
+
+	// disabled is the cumulative reconfiguration set for the current point:
+	// the Rerouting baseline and conviction-driven recovery both feed it,
+	// and every reroute.Apply receives the full set (the route builder does
+	// not consult the network's own disabled-link state).
+	disabled map[int]bool
 
 	// hijacks memoizes the auto-selected misroute hijack router per victim;
 	// nextAt is the (router, port) -> downstream-router table the selection
@@ -137,8 +146,10 @@ func (r *Runner) arena(cfg noc.Config) (*arena, error) {
 		isInfected: make([]bool, len(links)),
 		placements: map[placementKey][]int{},
 		trojans:    map[trojanKey][]tasp.Trojan{},
+		colls:      map[int]*tasp.Collusion{},
 		gens:       map[*traffic.Model]*traffic.Generator{},
 		hijacks:    map[int]int{},
+		disabled:   map[int]bool{},
 	}
 	for i := range a.wires {
 		a.wires[i] = NewSecureWire(fault.None, 0, layout)
@@ -178,9 +189,11 @@ func (a *arena) placement(m *traffic.Model, k int, target tasp.Target) []int {
 
 // trojanSet returns n reset trojans of one family for a target, reusing
 // previously compiled instances (the comparator taps and wire tables depend
-// only on the family, target, hijack and the arena's layout).
-func (a *arena) trojanSet(kind tasp.Kind, target tasp.Target, yBits, hijack, n int) []tasp.Trojan {
-	key := trojanKey{kind, target, yBits, hijack}
+// only on the family, target, hijack, duty cycle and the arena's layout).
+// Colluding sets get their rotation roles reassigned per call — the memoized
+// slice may be cut to a different n between points.
+func (a *arena) trojanSet(kind tasp.Kind, target tasp.Target, yBits, hijack, period, active, n int) []tasp.Trojan {
+	key := trojanKey{kind, target, yBits, hijack, period, active}
 	ts := a.trojans[key]
 	for len(ts) < n {
 		switch kind {
@@ -188,14 +201,26 @@ func (a *arena) trojanSet(kind tasp.Kind, target tasp.Target, yBits, hijack, n i
 			ts = append(ts, tasp.NewDropper(target, a.net.Layout()))
 		case tasp.KindMisroute:
 			ts = append(ts, tasp.NewMisrouter(target, uint8(hijack), a.net.Layout()))
+		case tasp.KindThrottle:
+			ts = append(ts, tasp.NewThrottledDropper(target, a.net.Layout(), period, active))
+		case tasp.KindCollude:
+			coord := a.colls[period]
+			if coord == nil {
+				coord = tasp.NewCollusion(period)
+				a.colls[period] = coord
+			}
+			ts = append(ts, tasp.NewColludingDropper(target, a.net.Layout(), coord))
 		default:
 			ts = append(ts, tasp.New(target, yBits, a.net.Layout()))
 		}
 	}
 	a.trojans[key] = ts
 	ts = ts[:n]
-	for _, t := range ts {
+	for i, t := range ts {
 		t.Reset()
+		if cd, ok := t.(*tasp.ColludingDropper); ok {
+			cd.SetRole(i, n)
+		}
 	}
 	return ts
 }
@@ -295,8 +320,18 @@ func resetResults(res *Results, cfg ExperimentConfig) {
 	} else {
 		clear(res.AckVerdicts)
 	}
+	if res.AckChannels == nil {
+		res.AckChannels = map[int]detect.AckChannel{}
+	} else {
+		clear(res.AckChannels)
+	}
 	res.AckFlaggedAt = 0
+	res.HijackRouter = -1
 	res.ReroutedAt = 0
+	res.RecoveredAt = 0
+	res.RecoveredLinks = res.RecoveredLinks[:0]
+	res.AtRecover = noc.Counters{}
+	res.VictimAtRecover = 0
 	res.VictimDelivered = 0
 	res.FirstTrojanAt = 0
 	if res.Latency == nil {
@@ -375,13 +410,19 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 	if wantCap <= 0 {
 		wantCap = detect.DefaultHistoryCap
 	}
+	// A negative hijack means auto-select; 0 is a legitimate explicit choice
+	// (router 0 exists on every substrate), so the sentinel is -1, not 0.
 	hijack := cfg.Attack.Hijack
-	if cfg.Attack.Enabled && cfg.Attack.Kind == tasp.KindMisroute && hijack == 0 {
-		hijack = a.autoHijack(int(cfg.Attack.Target.DstR))
+	if cfg.Attack.Enabled && cfg.Attack.Kind == tasp.KindMisroute {
+		if hijack < 0 {
+			hijack = a.autoHijack(int(cfg.Attack.Target.DstR))
+		}
+		res.HijackRouter = hijack
 	}
 	var trojans []tasp.Trojan
 	if cfg.Attack.Enabled && len(infected) > 0 {
-		trojans = a.trojanSet(cfg.Attack.Kind, cfg.Attack.Target, yBits, hijack, len(infected))
+		trojans = a.trojanSet(cfg.Attack.Kind, cfg.Attack.Target, yBits, hijack,
+			cfg.Attack.DutyPeriod, cfg.Attack.DutyActive, len(infected))
 	}
 	for i := range a.isInfected {
 		a.isInfected[i] = false
@@ -474,15 +515,36 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 			a.ackmon.Reset()
 		}
 		ackmon = a.ackmon
+		ackmon.DeficitRatio = cfg.AckDeficitRatio
+	}
+	recoverOn := cfg.RecoverOnConvict && ackmon != nil
+	clear(a.disabled)
+	if len(cfg.PredisabledLinks) > 0 {
+		// Post-fault capacity oracle: the links are down (with the safe
+		// reconfiguration) from the very first cycle, as if recovery had
+		// convicted them instantly and for free.
+		for _, id := range cfg.PredisabledLinks {
+			a.disabled[id] = true
+		}
+		if _, err := reroute.ApplySafe(net, a.disabled); err != nil {
+			return fmt.Errorf("predisable: %w", err)
+		}
 	}
 	gatherEvidence := func() map[int]locate.LinkEvidence {
 		for _, l := range net.LinkSlice() {
 			op := net.LinkOutput(l.ID)
+			// Clamped like the monitor's: sampling skew can put recv
+			// momentarily ahead of sent, and an unsigned wrap here would
+			// swamp the ranking's anomaly term.
+			var ackGap uint64
+			if op.FlitsSent > op.FlitsRecv {
+				ackGap = op.FlitsSent - op.FlitsRecv
+			}
 			ev := locate.LinkEvidence{
 				Class:           a.wires[l.ID].Detector.Classification(),
 				Retransmissions: op.Retransmissions,
 				FlitsSent:       op.FlitsSent,
-				AckGap:          op.FlitsSent - op.FlitsRecv,
+				AckGap:          ackGap,
 				RouteViolations: op.RouteViolations,
 			}
 			if ackmon != nil {
@@ -511,11 +573,10 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 		}
 		if cfg.Mitigation == Rerouting && !rerouted && cfg.Attack.Enabled &&
 			net.Cycle() >= enableAt+uint64(cfg.RerouteDetectDelay) {
-			disabled := map[int]bool{}
 			for _, id := range infected {
-				disabled[id] = true
+				a.disabled[id] = true
 			}
-			if _, err := reroute.Apply(net, disabled); err != nil {
+			if _, err := reroute.Apply(net, a.disabled); err != nil {
 				return fmt.Errorf("rerouting baseline: %w", err)
 			}
 			rerouted = true
@@ -547,8 +608,33 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 						Blocked:         net.LinkBlocked(l.ID),
 					})
 				}
+				ackmon.FinishWindow()
 				if res.AckFlaggedAt == 0 && ackmon.Flagged() > 0 {
 					res.AckFlaggedAt = net.Cycle()
+				}
+				if recoverOn {
+					// Conviction-driven recovery: every newly convicted
+					// link joins the cumulative reconfiguration set and the
+					// routes rebuild around it — retransmit-around on the
+					// surviving topology.
+					newly := false
+					for _, l := range net.LinkSlice() {
+						if c := ackmon.Class(l.ID); (c == detect.AckDropper || c == detect.AckMisroute) && !a.disabled[l.ID] {
+							a.disabled[l.ID] = true
+							res.RecoveredLinks = append(res.RecoveredLinks, l.ID)
+							newly = true
+						}
+					}
+					if newly {
+						if res.RecoveredAt == 0 {
+							res.RecoveredAt = net.Cycle()
+							res.AtRecover = net.Counters
+							res.VictimAtRecover = res.VictimDelivered
+						}
+						if _, err := reroute.ApplySafe(net, a.disabled); err != nil {
+							return fmt.Errorf("recover-on-convict: %w", err)
+						}
+					}
 				}
 			}
 			if tel != nil {
@@ -581,6 +667,9 @@ func (r *Runner) RunInto(cfg ExperimentConfig, res *Results) error {
 		for _, l := range net.LinkSlice() {
 			if c := ackmon.Class(l.ID); c != detect.AckHealthy {
 				res.AckVerdicts[l.ID] = c
+				if ch := ackmon.Channel(l.ID); ch != detect.ChannelNone {
+					res.AckChannels[l.ID] = ch
+				}
 			}
 		}
 	}

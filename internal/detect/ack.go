@@ -24,14 +24,56 @@ const (
 	// AckSuspect: the sent/received gap grew this window, but not yet for
 	// enough consecutive windows to convict.
 	AckSuspect
-	// AckDropper: the gap grew over MinGapWindows consecutive windows with
-	// the link unblocked — flits are being consumed in flight under forged
-	// ACKs.
+	// AckDropper: flits are being consumed in flight under forged ACKs —
+	// convicted by the consecutive-window streak, the cumulative-deficit
+	// channel, or the cross-link fused view (see AckChannel).
 	AckDropper
 	// AckMisroute: the receiving side saw route-violating arrivals —
 	// headers are being rewritten in flight.
 	AckMisroute
 )
+
+// AckChannel names the evidence channel that convicted a link — the
+// explainability tag beside the verdict.
+type AckChannel uint8
+
+// Conviction channels.
+const (
+	// ChannelNone: the link is not convicted.
+	ChannelNone AckChannel = iota
+	// ChannelStreak: the gap grew over MinGapWindows consecutive unblocked
+	// windows — the stock detector, defeated by duty-cycled droppers.
+	ChannelStreak
+	// ChannelDeficit: the link's cumulative unexplained loss crossed the
+	// long-horizon deficit ratio — catches throttled droppers whose bursts
+	// never complete a streak.
+	ChannelDeficit
+	// ChannelFused: the cross-link fused view attributed a network-wide
+	// sustained deficit to this link — catches colluding droppers that
+	// rotate strikes so no single link sustains either per-link channel.
+	ChannelFused
+	// ChannelViolation: a route-conformance violation — the misroute
+	// signature, unambiguous on first sight.
+	ChannelViolation
+)
+
+// String names the channel as experiment records spell it.
+func (c AckChannel) String() string {
+	switch c {
+	case ChannelNone:
+		return "none"
+	case ChannelStreak:
+		return "streak"
+	case ChannelDeficit:
+		return "deficit"
+	case ChannelFused:
+		return "fused"
+	case ChannelViolation:
+		return "violation"
+	default:
+		return fmt.Sprintf("ackchannel(%d)", uint8(c))
+	}
+}
 
 // String names the verdict as experiment records spell it.
 func (c AckClass) String() string {
@@ -65,21 +107,68 @@ type AckObservation struct {
 // an unblocked link do not happen by accident.
 const DefaultMinGapWindows = 3
 
+// Cumulative-deficit channel defaults. The streak channel asks "is the gap
+// growing right now, repeatedly?"; the deficit channel asks "how many flits
+// has this link lost over the whole run, relative to what it carried?" — a
+// question a duty-cycled dropper cannot game, because quiet windows stop the
+// streak but never refund the loss.
+const (
+	// DefaultDeficitRatio is the cumulative unexplained-loss fraction of
+	// sent traffic that convicts: 1% of carried flits vanishing without a
+	// blocked port to blame is far outside sampling noise (a healthy link's
+	// long-horizon deficit is zero — late arrivals are refunded when the
+	// next window's gap shrinks back).
+	DefaultDeficitRatio = 0.01
+	// DefaultDeficitMinLoss is the absolute loss floor in flits: the ratio
+	// alone would convict a nearly idle link on a handful of skewed samples.
+	DefaultDeficitMinLoss = 25
+)
+
 // AckMonitor runs the secure-ack scheme over all links of one network. It is
 // sampled periodically (the experiment loop feeds it at every telemetry
 // sample) and holds per-link windowed state; Observe is allocation-free, so
 // the monitor can sit inside the campaign hot loop. Verdicts escalate
 // monotonically: once a link is convicted it stays convicted (the hardware
 // latches the alarm).
+//
+// Three conviction channels feed the same latched verdict:
+//
+//   - streak (per-link): MinGapWindows consecutive unblocked growing-gap
+//     windows — fast against a naive dropper, blind to duty cycling;
+//   - deficit (per-link): the cumulative unexplained loss crosses
+//     DeficitRatio of sent traffic (with the DeficitMinLoss floor) — slower,
+//     but immune to duty cycling because loss accumulates across quiet
+//     windows;
+//   - fused (cross-link): the sum of all links' unblocked gap growth
+//     sustains a network-wide streak (FinishWindow), and the accumulated
+//     fused deficit is attributed to the leaking links — catches colluders
+//     whose rotation keeps every per-link channel below threshold.
 type AckMonitor struct {
 	// MinGapWindows is the consecutive growing-gap windows needed to convict
-	// a dropper (0 = DefaultMinGapWindows).
+	// a dropper (0 = DefaultMinGapWindows). It also gates the fused
+	// cross-link streak.
 	MinGapWindows int
+	// DeficitRatio is the cumulative-loss fraction of sent flits that
+	// convicts via the deficit channel (0 = DefaultDeficitRatio; negative
+	// disables the deficit and fused channels — the stock streak-only
+	// detector, kept for ablation).
+	DeficitRatio float64
+	// DeficitMinLoss is the absolute flit-loss floor for the deficit and
+	// fused channels (0 = DefaultDeficitMinLoss).
+	DeficitMinLoss uint64
 
 	prevGap  []uint64
 	prevViol []uint64
 	streak   []int32
 	class    []AckClass
+	channel  []AckChannel
+	deficit  []uint64
+	sent     []uint64
+
+	// Cross-link fused view: unblocked gap growth summed over all links in
+	// the current window, and the consecutive-window streak of that sum.
+	windowGrowth uint64
+	fusedStreak  int32
 }
 
 // NewAckMonitor returns a monitor for a network with the given link count.
@@ -89,6 +178,9 @@ func NewAckMonitor(links int) *AckMonitor {
 		prevViol: make([]uint64, links),
 		streak:   make([]int32, links),
 		class:    make([]AckClass, links),
+		channel:  make([]AckChannel, links),
+		deficit:  make([]uint64, links),
+		sent:     make([]uint64, links),
 	}
 }
 
@@ -101,49 +193,174 @@ func (m *AckMonitor) Reset() {
 		m.prevGap[i], m.prevViol[i] = 0, 0
 		m.streak[i] = 0
 		m.class[i] = AckHealthy
+		m.channel[i] = ChannelNone
+		m.deficit[i], m.sent[i] = 0, 0
 	}
+	m.windowGrowth = 0
+	m.fusedStreak = 0
+}
+
+func (m *AckMonitor) minWindows() int {
+	if m.MinGapWindows <= 0 {
+		return DefaultMinGapWindows
+	}
+	return m.MinGapWindows
+}
+
+func (m *AckMonitor) minLoss() uint64 {
+	if m.DeficitMinLoss == 0 {
+		return DefaultDeficitMinLoss
+	}
+	return m.DeficitMinLoss
+}
+
+func (m *AckMonitor) deficitRatio() float64 {
+	if m.DeficitRatio == 0 {
+		return DefaultDeficitRatio
+	}
+	return m.DeficitRatio
+}
+
+// convict latches a dropper verdict from the given channel. Misroute wins
+// ties (it is the stronger, unambiguous evidence) and the first dropper
+// channel to fire keeps the credit.
+func (m *AckMonitor) convict(linkID int, ch AckChannel) {
+	if m.class[linkID] == AckMisroute || m.class[linkID] == AckDropper {
+		return
+	}
+	m.class[linkID] = AckDropper
+	m.channel[linkID] = ch
 }
 
 // Observe feeds one link's window snapshot and updates its verdict.
 func (m *AckMonitor) Observe(linkID int, o AckObservation) {
-	min := m.MinGapWindows
-	if min <= 0 {
-		min = DefaultMinGapWindows
-	}
+	min := m.minWindows()
 	if o.RouteViolations > m.prevViol[linkID] {
 		// A non-conforming arrival is unambiguous: no benign cause produces
 		// a valid codeword carrying a destination this link cannot serve.
 		m.class[linkID] = AckMisroute
+		m.channel[linkID] = ChannelViolation
 	}
 	m.prevViol[linkID] = o.RouteViolations
-	gap := o.FlitsSent - o.FlitsRecv
+	// Clamp, don't wrap: sampling skew can land a prior window's deposit
+	// before its acknowledgment is counted, making recv momentarily exceed
+	// sent. Unsigned subtraction would turn that into a ~2^64 "gap" and
+	// forge streak growth (and an instant deficit conviction).
+	var gap uint64
+	if o.FlitsSent > o.FlitsRecv {
+		gap = o.FlitsSent - o.FlitsRecv
+	}
+	deficitOn := m.DeficitRatio >= 0
 	switch {
 	case gap > m.prevGap[linkID] && !o.Blocked:
+		if deficitOn {
+			grow := gap - m.prevGap[linkID]
+			m.deficit[linkID] += grow
+			m.windowGrowth += grow
+		}
 		m.streak[linkID]++
 		if int(m.streak[linkID]) >= min {
-			if m.class[linkID] != AckMisroute {
-				m.class[linkID] = AckDropper
-			}
+			m.convict(linkID, ChannelStreak)
 		} else if m.class[linkID] == AckHealthy {
 			m.class[linkID] = AckSuspect
 		}
 	case gap > m.prevGap[linkID]:
 		// The gap grew but the port is stalled: congestion may explain
-		// withheld end-to-end acknowledgments, so the window is discounted
-		// (the streak holds, neither growing nor resetting).
+		// withheld end-to-end acknowledgments, so the streak is discounted
+		// (it holds, neither growing nor resetting) and the deficit books
+		// the growth at half weight — the congestion discount. A full
+		// exemption would hand the adversary a shield: a dropper whose own
+		// damage congests the link (or a colluder striking during bursts)
+		// could bleed the victim forever behind blocked samples, while a
+		// healthy link never grows its gap at all, blocked or not.
+		if deficitOn {
+			grow := (gap - m.prevGap[linkID]) / 2
+			m.deficit[linkID] += grow
+			m.windowGrowth += grow
+		}
 	default:
 		// A quiet window breaks the streak; a provisional suspicion lapses,
-		// a conviction does not.
+		// a conviction does not. A *shrinking* gap means earlier counted
+		// growth was sampling skew (the flits arrived after all), so the
+		// refund is taken back out of the cumulative deficit.
+		if deficitOn && gap < m.prevGap[linkID] {
+			if back := m.prevGap[linkID] - gap; back >= m.deficit[linkID] {
+				m.deficit[linkID] = 0
+			} else {
+				m.deficit[linkID] -= back
+			}
+		}
 		m.streak[linkID] = 0
 		if m.class[linkID] == AckSuspect {
 			m.class[linkID] = AckHealthy
 		}
 	}
 	m.prevGap[linkID] = gap
+	m.sent[linkID] = o.FlitsSent
+	if deficitOn {
+		if d := m.deficit[linkID]; d >= m.minLoss() && float64(d) >= m.deficitRatio()*float64(o.FlitsSent) {
+			m.convict(linkID, ChannelDeficit)
+		}
+	}
+}
+
+// FinishWindow closes a sampling window after every link has been Observed:
+// the cross-link fused view for collusion. Colluders rotate the strike duty
+// so each member's gap grows only every n-th turn — but *someone's* gap
+// grows every window, so the network-wide sum of unblocked gap growth
+// sustains exactly the streak no single link shows. Once the fused streak
+// reaches MinGapWindows and the accumulated loss clears the floor, the
+// deficit is attributed to the leak set: every link carrying at least half
+// its equal share of the fused deficit is convicted. Allocation-free, like
+// Observe.
+func (m *AckMonitor) FinishWindow() {
+	growth := m.windowGrowth
+	m.windowGrowth = 0
+	if m.DeficitRatio < 0 {
+		return
+	}
+	if growth > 0 {
+		m.fusedStreak++
+	} else {
+		m.fusedStreak = 0
+	}
+	if int(m.fusedStreak) < m.minWindows() {
+		return
+	}
+	var fused uint64
+	leaks := 0
+	for _, d := range m.deficit {
+		if d > 0 {
+			fused += d
+			leaks++
+		}
+	}
+	if leaks == 0 || fused < m.minLoss() {
+		return
+	}
+	// Attribution bar: half the equal share. Rotating colluders each hold
+	// ~1/n of the fused deficit and clear it; a link holding a stray skewed
+	// sample or two does not.
+	bar := fused / uint64(2*leaks)
+	if bar == 0 {
+		bar = 1
+	}
+	for i, d := range m.deficit {
+		if d >= bar {
+			m.convict(i, ChannelFused)
+		}
+	}
 }
 
 // Class returns a link's current verdict.
 func (m *AckMonitor) Class(linkID int) AckClass { return m.class[linkID] }
+
+// Channel returns the evidence channel that convicted a link (ChannelNone
+// while unconvicted).
+func (m *AckMonitor) Channel(linkID int) AckChannel { return m.channel[linkID] }
+
+// Deficit returns a link's cumulative unexplained loss in flits.
+func (m *AckMonitor) Deficit(linkID int) uint64 { return m.deficit[linkID] }
 
 // Flagged counts links convicted as droppers or misrouters.
 func (m *AckMonitor) Flagged() int {

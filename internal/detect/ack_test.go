@@ -133,3 +133,131 @@ func TestAckMonitorReset(t *testing.T) {
 		t.Fatalf("post-reset first window: %v, want ack-suspect", c)
 	}
 }
+
+// TestAckGapUnderflowSkewClamps is the regression test for the uint64
+// underflow: sampling skew can land a window where recv momentarily exceeds
+// sent (a prior window's deposit counted before its acknowledgment).
+// Unsigned subtraction turned that into a ~2^64 "gap", forging streak
+// growth and an instant deficit conviction of a perfectly healthy link.
+func TestAckGapUnderflowSkewClamps(t *testing.T) {
+	m := NewAckMonitor(2)
+	m.Observe(0, obsGap(100, 100, false))
+	// Skewed window: 5 more flits acknowledged than sent.
+	m.Observe(0, obsGap(200, 205, false))
+	if c := m.Class(0); c != AckHealthy {
+		t.Fatalf("skewed window classified %v, want healthy", c)
+	}
+	if d := m.Deficit(0); d != 0 {
+		t.Fatalf("skewed window booked deficit %d, want 0", d)
+	}
+	// The skew settles; the link must still read healthy.
+	m.Observe(0, obsGap(300, 300, false))
+	if c := m.Class(0); c != AckHealthy {
+		t.Fatalf("after settled skew: %v, want healthy", c)
+	}
+	if m.Flagged() != 0 {
+		t.Fatal("underflow skew flagged a healthy link")
+	}
+}
+
+// TestAckMonitorDeficitConvictsDutyCycledDropper pins the cumulative-deficit
+// channel against the throttle family: the gap grows only every other
+// window, so the consecutive-window streak never completes — but loss
+// accumulates across the quiet windows until it crosses the deficit ratio.
+func TestAckMonitorDeficitConvictsDutyCycledDropper(t *testing.T) {
+	m := NewAckMonitor(1)
+	sent, gap := uint64(0), uint64(0)
+	for w := 0; w < 4 && m.Class(0) != AckDropper; w++ {
+		sent += 1000
+		gap += 20 // active window: the trojan swallows 20 flits
+		m.Observe(0, obsGap(sent, sent-gap, false))
+		if int(m.streak[0]) >= DefaultMinGapWindows {
+			t.Fatal("duty-cycled dropper accumulated a streak: tuning broken")
+		}
+		sent += 1000 // quiet window: gap holds, streak resets
+		m.Observe(0, obsGap(sent, sent-gap, false))
+	}
+	if c := m.Class(0); c != AckDropper {
+		t.Fatalf("duty-cycled dropper classified %v, want dropper", c)
+	}
+	if ch := m.Channel(0); ch != ChannelDeficit {
+		t.Fatalf("convicted via %v, want deficit", ch)
+	}
+}
+
+// TestAckMonitorStockMissesDutyCycledDropper is the ablation counterpart:
+// with the deficit channel disabled (DeficitRatio < 0, the stock
+// streak-only detector) the identical duty-cycled loss pattern never
+// convicts — the evasion the adaptive families are engineered for.
+func TestAckMonitorStockMissesDutyCycledDropper(t *testing.T) {
+	m := NewAckMonitor(1)
+	m.DeficitRatio = -1
+	sent, gap := uint64(0), uint64(0)
+	for w := 0; w < 50; w++ {
+		sent += 1000
+		gap += 20
+		m.Observe(0, obsGap(sent, sent-gap, false))
+		sent += 1000
+		m.Observe(0, obsGap(sent, sent-gap, false))
+	}
+	if c := m.Class(0); c == AckDropper || c == AckMisroute {
+		t.Fatalf("stock detector convicted the duty-cycled dropper (%v)", c)
+	}
+	if m.Flagged() != 0 {
+		t.Fatal("stock detector flagged links")
+	}
+}
+
+// TestAckMonitorFusedConvictsRotatingColluders pins the cross-link fused
+// view: three links rotate the strike so each one's gap grows only every
+// third window — no per-link streak, per-link deficits held under the
+// ratio — but the network-wide sum of unblocked gap growth sustains a
+// streak no single link shows, and the accumulated fused deficit is
+// attributed back to every link carrying its share of the leak.
+func TestAckMonitorFusedConvictsRotatingColluders(t *testing.T) {
+	m := NewAckMonitor(3)
+	sent := uint64(0)
+	gaps := [3]uint64{}
+	for w := 0; w < 6; w++ {
+		sent += 6000 // heavy per-link traffic keeps per-link deficits sub-ratio
+		gaps[w%3] += 30
+		for l := 0; l < 3; l++ {
+			m.Observe(l, obsGap(sent, sent-gaps[l], false))
+		}
+		m.FinishWindow()
+	}
+	for l := 0; l < 3; l++ {
+		if c := m.Class(l); c != AckDropper {
+			t.Errorf("colluder %d classified %v, want dropper", l, c)
+		}
+		if ch := m.Channel(l); ch != ChannelFused {
+			t.Errorf("colluder %d convicted via %v, want fused", l, ch)
+		}
+	}
+}
+
+// TestAckMonitorFusedSparesBystander checks the attribution bar: a healthy
+// link sharing the window with rotating colluders (zero deficit of its own)
+// must not be swept up by the fused conviction.
+func TestAckMonitorFusedSparesBystander(t *testing.T) {
+	m := NewAckMonitor(4)
+	sent := uint64(0)
+	gaps := [3]uint64{}
+	for w := 0; w < 6; w++ {
+		sent += 6000
+		gaps[w%3] += 30
+		for l := 0; l < 3; l++ {
+			m.Observe(l, obsGap(sent, sent-gaps[l], false))
+		}
+		m.Observe(3, obsGap(sent, sent, false)) // bystander: no gap, ever
+		m.FinishWindow()
+	}
+	if c := m.Class(3); c != AckHealthy {
+		t.Fatalf("bystander classified %v, want healthy", c)
+	}
+	for l := 0; l < 3; l++ {
+		if c := m.Class(l); c != AckDropper {
+			t.Errorf("colluder %d classified %v, want dropper", l, c)
+		}
+	}
+}

@@ -163,6 +163,13 @@ func Extensions() []Experiment {
 			}
 			return []Table{t}, nil
 		}},
+		{ID: "adaptive", Run: func(seed uint64) ([]Table, error) {
+			t, err := AblationAdaptive(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []Table{t}, nil
+		}},
 	}
 }
 

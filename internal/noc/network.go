@@ -115,6 +115,11 @@ type Network struct {
 	// SetAdaptiveRoute clear it, Reset restores it.
 	routePristine bool
 
+	// vcReclassed is set by ReclassifyVCs so Reset knows the dateline
+	// VC-class tables were rebuilt for a reconfigured route table and must
+	// be restored to the constructor's minimal-route values.
+	vcReclassed bool
+
 	// sched holds the per-phase active sets and global flit counters of
 	// the event-driven core (see sched.go).
 	sched *scheduler
@@ -249,6 +254,17 @@ func (n *Network) Reset() {
 		pw.Tap = fault.None
 		pw.Corrected, pw.Dropped, pw.Swallowed = 0, 0, 0
 		n.routers[l.From].outputs[l.FromPort].wire = pw
+	}
+	if n.vcReclassed {
+		for i := range n.links {
+			l := &n.links[i]
+			op := n.routers[l.From].outputs[l.FromPort]
+			for d := range op.vcClass {
+				c, _ := n.topo.VCClass(l.From, l.To, d)
+				op.vcClass[d] = uint8(c)
+			}
+		}
+		n.vcReclassed = false
 	}
 	if n.telemetry != nil {
 		n.telemetry.Reset()

@@ -30,6 +30,14 @@ const (
 	// re-encodes the codeword, so SECDED decodes clean and the packet sails
 	// to the hijack router instead of its destination.
 	KindMisroute
+	// KindThrottle is the adaptive dropper (adaptive.go): the KindDrop
+	// payload gated by a duty cycle tuned to sit under the secure-ack
+	// monitor's consecutive-window conviction streak.
+	KindThrottle
+	// KindCollude is the colluding dropper set (adaptive.go): N trojan
+	// links rotate the strike duty so no single link's ack gap grows often
+	// enough to accumulate a streak.
+	KindCollude
 )
 
 // String names the kind as the campaign/CLI knobs spell it.
@@ -41,6 +49,10 @@ func (k Kind) String() string {
 		return "drop"
 	case KindMisroute:
 		return "misroute"
+	case KindThrottle:
+		return "throttle"
+	case KindCollude:
+		return "collude"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -56,8 +68,12 @@ func ParseKind(s string) (Kind, error) {
 		return KindDrop, nil
 	case "misroute":
 		return KindMisroute, nil
+	case "throttle":
+		return KindThrottle, nil
+	case "collude":
+		return KindCollude, nil
 	default:
-		return KindFlip, fmt.Errorf("unknown trojan kind %q (want flip, drop or misroute)", s)
+		return KindFlip, fmt.Errorf("unknown trojan kind %q (want flip, drop, misroute, throttle or collude)", s)
 	}
 }
 

@@ -66,8 +66,8 @@ var (
 )
 
 // TrojanKind selects the trojan family deployed on the infected links:
-// payload-flipping TASP, the ACK-forging dropper, or the header-rewriting
-// misrouter.
+// payload-flipping TASP, the ACK-forging dropper, the header-rewriting
+// misrouter, or the adaptive duty-cycled/colluding droppers.
 type TrojanKind = taspht.Kind
 
 // The available trojan families.
@@ -75,10 +75,12 @@ const (
 	KindFlip     = taspht.KindFlip
 	KindDrop     = taspht.KindDrop
 	KindMisroute = taspht.KindMisroute
+	KindThrottle = taspht.KindThrottle
+	KindCollude  = taspht.KindCollude
 )
 
 // ParseTrojanKind resolves a trojan family name ("flip", "drop",
-// "misroute"; "" means flip).
+// "misroute", "throttle", "collude"; "" means flip).
 var ParseTrojanKind = taspht.ParseKind
 
 // NoCConfig describes the simulated mesh micro-architecture.
